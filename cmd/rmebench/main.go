@@ -1,0 +1,126 @@
+// Command rmebench regenerates every table and figure of Dhoked & Mittal,
+// "An Adaptive Approach to Recoverable Mutual Exclusion" (PODC 2020), by
+// measuring the implementations in this repository on the RMR-exact
+// shared-memory simulator.
+//
+// Usage:
+//
+//	rmebench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1       Table 1: RMRs per passage, three failure scenarios, all locks
+//	table2       Table 2: performance-measure classification
+//	figure1      Figure 1: sub-queue fragmentation after unsafe failures
+//	figure2      Figure 2: the semi-adaptive framework, with routing trace
+//	figure3      Figure 3: the recursive framework, with escalation trace
+//	adaptivity   Theorem 5.18: RMRs vs F with √F fit (headline result)
+//	escalation   Theorem 5.17: escalation depth vs failures
+//	batch        Theorem 7.1: batch vs independent failures
+//	resp         Theorem 4.2: WR-Lock responsiveness
+//	components   Theorems 4.7/5.6: O(1) component costs
+//	scale        failure-free RMRs vs n: the complexity curves of Table 1
+//	ablation     the price of each property, from plain MCS up
+//	reclaim      Section 7.2: bounded space via reclamation
+//	superpassage Section 7.3: super-passage cost under repeated self-crashes
+//	all          everything above, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rme/internal/bench"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 16, "number of processes")
+		requests = flag.Int("requests", 5, "satisfied requests per process")
+		failures = flag.Int("failures", 0, "failure budget for the F-failures scenario (default n)")
+		seeds    = flag.String("seeds", "1,2,3", "comma-separated seeds to average over")
+		seed     = flag.Int64("seed", 21, "seed for single-run figures")
+		csv      = flag.Bool("csv", false, "emit tables as CSV (figures stay textual)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components reclaim superpassage all\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var seedList []int64
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmebench: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		seedList = append(seedList, v)
+	}
+	opts := bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList}
+
+	if err := run(flag.Arg(0), opts, *seed, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts bench.Opts, seed int64, csv bool) error {
+	show := func(t *bench.Table) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	switch exp {
+	case "table1":
+		for _, t := range bench.Table1(opts) {
+			show(t)
+		}
+	case "table2":
+		show(bench.Table2(opts))
+	case "figure1":
+		fmt.Println(bench.Figure1(seed))
+	case "figure2":
+		fmt.Println(bench.Figure2(seed))
+	case "figure3":
+		fmt.Println(bench.Figure3(opts))
+	case "adaptivity":
+		show(bench.Adaptivity(opts))
+	case "escalation":
+		show(bench.Escalation(opts))
+	case "batch":
+		show(bench.Batch(opts))
+	case "resp":
+		show(bench.Responsiveness(opts))
+	case "components":
+		show(bench.Components())
+	case "scale":
+		show(bench.Scale(opts))
+	case "ablation":
+		show(bench.Ablation(opts))
+	case "reclaim":
+		show(bench.Reclaim(opts))
+	case "superpassage":
+		show(bench.SuperPassage(opts))
+	case "all":
+		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
+			"adaptivity", "escalation", "batch", "resp", "components", "scale", "ablation", "reclaim", "superpassage"} {
+			if err := run(e, opts, seed, csv); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

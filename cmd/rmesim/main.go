@@ -1,0 +1,147 @@
+// Command rmesim runs one configurable simulation of a recoverable lock on
+// the RMR-exact shared-memory simulator and reports statistics and
+// property-check results.
+//
+// Usage:
+//
+//	rmesim -lock ba-log -n 16 -model cc -requests 5 -unsafe 4 -v
+//
+// The available locks are listed with -list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rme/internal/check"
+	"rme/internal/memory"
+	"rme/internal/sim"
+	"rme/internal/trace"
+	"rme/internal/workload"
+)
+
+func main() {
+	var (
+		lock     = flag.String("lock", "ba-log", "lock to simulate (see -list)")
+		n        = flag.Int("n", 8, "number of processes")
+		model    = flag.String("model", "cc", "memory model: cc or dsm")
+		requests = flag.Int("requests", 5, "satisfied requests per process")
+		seed     = flag.Int64("seed", 1, "scheduler seed")
+		failures = flag.Int("failures", 0, "random failures to inject at instruction boundaries")
+		unsafe   = flag.Int("unsafe", 0, "unsafe failures to inject immediately after sensitive FAS instructions")
+		csops    = flag.Int("csops", 1, "critical-section length in instructions")
+		verbose  = flag.Bool("v", false, "dump lifecycle events")
+		timeline = flag.Bool("timeline", false, "render an ASCII timeline of the run")
+		passages = flag.Bool("passages", false, "list every passage with its cost")
+		list     = flag.Bool("list", false, "list available locks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			spec, _ := workload.Lookup(name)
+			fmt.Printf("%-12s %s\n", name, spec.Paper)
+		}
+		return
+	}
+
+	spec, err := workload.Lookup(*lock)
+	if err != nil {
+		fatal(err)
+	}
+	var mdl memory.Model
+	switch strings.ToLower(*model) {
+	case "cc":
+		mdl = memory.CC
+	case "dsm":
+		mdl = memory.DSM
+	default:
+		fatal(fmt.Errorf("unknown model %q (want cc or dsm)", *model))
+	}
+
+	var plan sim.PlanSeq
+	if *failures > 0 {
+		plan = append(plan, &sim.FailureBudget{Total: *failures, Rate: 0.01})
+	}
+	if *unsafe > 0 {
+		plan = append(plan, &sim.UnsafeBudget{Total: *unsafe, Rate: 0.3,
+			MaxPerProcess: (*unsafe + *n - 1) / *n})
+	}
+	cfg := sim.Config{
+		N:         *n,
+		Model:     mdl,
+		Requests:  *requests,
+		Seed:      *seed,
+		CSOps:     *csops,
+		RecordOps: true,
+		MaxSteps:  50_000_000,
+	}
+	if len(plan) > 0 {
+		cfg.Plan = plan
+	}
+
+	r, err := sim.New(cfg, spec.New)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		for _, ev := range res.Events {
+			if ev.Kind == sim.EvOp {
+				continue
+			}
+			fmt.Printf("t=%-8d p%-3d %s\n", ev.Seq, ev.PID, ev.Kind)
+		}
+		fmt.Println()
+	}
+	if *timeline {
+		fmt.Println(trace.Timeline(res, 100))
+	}
+	if *passages {
+		fmt.Println(trace.PassageTable(res))
+	}
+
+	fmt.Printf("lock        %s (%s)\n", spec.Name, spec.Paper)
+	fmt.Printf("config      n=%d model=%v requests=%d seed=%d\n", *n, mdl, *requests, *seed)
+	fmt.Printf("steps       %d\n", res.Steps)
+	fmt.Printf("crashes     %d\n", res.CrashCount())
+	fmt.Printf("arena       %d words\n", res.ArenaWords)
+	fmt.Printf("max CS occupancy  %d\n", res.MaxCSOverlap)
+	fmt.Printf("passage RMRs      %v\n", res.SummarizePassageRMRs(nil))
+	fmt.Printf("failure-free RMRs %v\n", res.SummarizePassageRMRs(func(p sim.PassageStat) bool { return !p.Crashed }))
+	fmt.Printf("request RMRs      %v\n", res.SummarizeRequestRMRs())
+	if spec.SlowLabels != nil {
+		fmt.Printf("max level reached %d of %d\n", check.MaxDepth(res, spec.SlowLabels(*n)), spec.Levels(*n))
+	}
+
+	var checkErr error
+	switch spec.Strength {
+	case workload.Strong:
+		checkErr = check.Strong(res, 1<<20)
+		fmt.Printf("properties (strong: ME, satisfaction, BCSR): %s\n", verdict(checkErr))
+	case workload.Weak:
+		checkErr = check.Weak(res)
+		fmt.Printf("properties (weak: satisfaction, responsiveness): %s\n", verdict(checkErr))
+	}
+	if checkErr != nil {
+		os.Exit(1)
+	}
+}
+
+func verdict(err error) string {
+	if err != nil {
+		return "VIOLATED — " + err.Error()
+	}
+	return "ok"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rmesim: %v\n", err)
+	os.Exit(1)
+}

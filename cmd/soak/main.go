@@ -1,0 +1,69 @@
+// Command soak is a long-running randomized stress campaign: every
+// recoverable lock, both memory models, combined random + unsafe failure
+// adversaries, across many seeds. It prints only violations and a final
+// summary; CI-sized versions of the same sweeps live in the test suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rme/internal/check"
+	"rme/internal/memory"
+	"rme/internal/sim"
+	"rme/internal/workload"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 100, "seeds per configuration")
+	n := flag.Int("n", 6, "processes")
+	requests := flag.Int("requests", 3, "requests per process")
+	flag.Parse()
+
+	runs, failures := 0, 0
+	for _, name := range workload.Names() {
+		spec, err := workload.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		if spec.Strength == workload.NonRecoverable {
+			continue
+		}
+		for _, model := range []memory.Model{memory.CC, memory.DSM} {
+			for seed := int64(0); seed < int64(*seeds); seed++ {
+				plan := sim.PlanSeq{
+					&sim.RandomFailures{Rate: 0.008, MaxPerProcess: 3, DuringPassage: true},
+					&sim.UnsafeBudget{Total: 3, Rate: 0.4, MaxPerProcess: 1},
+				}
+				r, err := sim.New(sim.Config{N: *n, Model: model, Requests: *requests,
+					Seed: seed, Plan: plan, CSOps: 3, MaxSteps: 30_000_000}, spec.New)
+				if err != nil {
+					panic(err)
+				}
+				res, err := r.Run()
+				runs++
+				if err != nil {
+					failures++
+					fmt.Printf("FAIL %s/%v seed=%d: %v\n", name, model, seed, err)
+					continue
+				}
+				var cerr error
+				switch spec.Strength {
+				case workload.Strong:
+					cerr = check.Strong(res, 1<<20)
+				case workload.Weak:
+					cerr = check.Weak(res)
+				}
+				if cerr != nil {
+					failures++
+					fmt.Printf("FAIL %s/%v seed=%d (%d crashes): %v\n", name, model, seed, res.CrashCount(), cerr)
+				}
+			}
+		}
+	}
+	fmt.Printf("soak: %d runs, %d violations\n", runs, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

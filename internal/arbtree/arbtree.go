@@ -1,0 +1,125 @@
+package arbtree
+
+import (
+	"fmt"
+	"math"
+
+	"rme/internal/memory"
+)
+
+type stage struct {
+	lock *PortLock
+	port int
+}
+
+// Tree is the Δ-ary arbitration tree: process i ascends from its leaf
+// through ⌈log_Δ n⌉ node locks, entering each through the port of the
+// child subtree it came from. With Δ = Θ(log n) the height is
+// Θ(log n / log log n) — the paper's sub-logarithmic base-lock shape
+// (Jayanti, Jayanti & Joshi, PODC 2019).
+//
+// The tree is strongly recoverable: each node lock is, and a recovering
+// process replays its fixed path idempotently.
+type Tree struct {
+	n      int
+	degree int
+	nodes  int
+	paths  [][]stage // per process, leaf → root
+}
+
+// DefaultDegree returns the fan-out Δ = max(2, ⌈log₂ n⌉) that yields
+// height Θ(log n / log log n).
+func DefaultDegree(n int) int {
+	if n <= 4 {
+		return 2
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// New allocates an arbitration tree for n processes with the given degree
+// in sp. degree < 2 selects DefaultDegree(n).
+func New(sp memory.Space, n, degree int) *Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("arbtree: New n = %d", n))
+	}
+	if degree < 2 {
+		degree = DefaultDegree(n)
+	}
+	if degree > 255 {
+		degree = 255
+	}
+	t := &Tree{n: n, degree: degree, paths: make([][]stage, n)}
+	t.build(sp, 0, n)
+	return t
+}
+
+// build splits [lo, hi) into up to degree child ranges and installs a
+// node lock whose port p serves child p.
+func (t *Tree) build(sp memory.Space, lo, hi int) {
+	width := hi - lo
+	if width <= 1 {
+		return
+	}
+	k := t.degree
+	if width < k {
+		k = width
+	}
+	// Child ranges of near-equal size.
+	per := (width + k - 1) / k
+	type rng struct{ lo, hi int }
+	var kids []rng
+	for s := lo; s < hi; s += per {
+		e := s + per
+		if e > hi {
+			e = hi
+		}
+		kids = append(kids, rng{s, e})
+	}
+	lock := NewPortLock(sp, len(kids))
+	t.nodes++
+	for port, kid := range kids {
+		t.build(sp, kid.lo, kid.hi)
+		for pid := kid.lo; pid < kid.hi; pid++ {
+			t.paths[pid] = append(t.paths[pid], stage{lock, port})
+		}
+	}
+}
+
+// Degree returns the fan-out.
+func (t *Tree) Degree() int { return t.degree }
+
+// Nodes returns the number of node locks.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Height returns the maximum leaf-to-root path length.
+func (t *Tree) Height() int {
+	h := 0
+	for _, p := range t.paths {
+		if len(p) > h {
+			h = len(p)
+		}
+	}
+	return h
+}
+
+// Recover is empty: each node lock recovers immediately before its Enter,
+// following the composite-lock convention of Algorithm 3.
+func (t *Tree) Recover(p memory.Port) {}
+
+// Enter acquires every node lock on the process's leaf-to-root path
+// (paths are stored leaf first).
+func (t *Tree) Enter(p memory.Port) {
+	for _, st := range t.paths[p.PID()] {
+		st.lock.Recover(p, st.port)
+		st.lock.Enter(p, st.port)
+	}
+}
+
+// Exit releases the path in reverse (root first). Node locks released in
+// an earlier attempt ignore the duplicate exit.
+func (t *Tree) Exit(p memory.Port) {
+	path := t.paths[p.PID()]
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].lock.Exit(p, path[i].port)
+	}
+}

@@ -1,0 +1,219 @@
+package arbtree
+
+import (
+	"testing"
+
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+func factory(sp memory.Space, n int) sim.Lock { return New(sp, n, 0) }
+
+func mustRun(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	r, err := sim.New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRefEncoding(t *testing.T) {
+	for _, s := range []int{0, 7, 254} {
+		for _, q := range []memory.Word{1, 2, 1 << 30} {
+			r := ref(s, q)
+			if refPort(r) != s || refSeq(r) != q {
+				t.Fatalf("round trip (%d,%d) → %d → (%d,%d)", s, q, r, refPort(r), refSeq(r))
+			}
+			if r == selfMark || r == 0 || r == emptyOf(q) {
+				t.Fatalf("ref collides with a marker")
+			}
+		}
+	}
+	if emptyOf(5) == selfMark {
+		t.Fatal("empty marker collides with selfMark")
+	}
+}
+
+func TestDefaultDegree(t *testing.T) {
+	tests := []struct{ n, want int }{{1, 2}, {4, 2}, {8, 3}, {16, 4}, {64, 6}, {1000, 10}}
+	for _, tt := range tests {
+		if got := DefaultDegree(tt.n); got != tt.want {
+			t.Errorf("DefaultDegree(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	a := memory.NewArena(memory.CC, 64)
+	tr := New(a, 64, 4)
+	if tr.Degree() != 4 {
+		t.Fatalf("degree = %d", tr.Degree())
+	}
+	if tr.Height() != 3 { // 64 = 4^3
+		t.Fatalf("height = %d, want 3", tr.Height())
+	}
+	// A binary tournament over 64 leaves would have height 6; the Δ-ary
+	// tree must be strictly shallower (the sub-logarithmic shape).
+	tr2 := New(a, 64, 8)
+	if tr2.Height() != 2 {
+		t.Fatalf("degree-8 height = %d, want 2", tr2.Height())
+	}
+	one := New(a, 1, 0)
+	if one.Height() != 0 || one.Nodes() != 0 {
+		t.Fatalf("n=1 tree: height %d nodes %d", one.Height(), one.Nodes())
+	}
+}
+
+func TestPortLockSingle(t *testing.T) {
+	a := memory.NewArena(memory.CC, 1)
+	l := NewPortLock(a, 3)
+	p := a.Port(0, nil)
+	for i := 0; i < 4; i++ {
+		port := i % 3
+		l.Recover(p, port)
+		l.Enter(p, port)
+		l.Exit(p, port)
+	}
+	if l.Ports() != 3 {
+		t.Fatalf("Ports = %d", l.Ports())
+	}
+}
+
+func TestPortLockReentryAfterCSCrash(t *testing.T) {
+	a := memory.NewArena(memory.CC, 1)
+	l := NewPortLock(a, 2)
+	p := a.Port(0, nil)
+	l.Enter(p, 1)
+	before := a.Ops(0)
+	l.Recover(p, 1)
+	l.Enter(p, 1) // re-entry after an in-CS crash is a bounded fast path
+	if got := a.Ops(0) - before; got > 4 {
+		t.Fatalf("re-entry took %d ops", got)
+	}
+	l.Exit(p, 1)
+	l.Exit(p, 1) // duplicate exit is a no-op
+}
+
+func TestPortLockValidation(t *testing.T) {
+	a := memory.NewArena(memory.CC, 1)
+	for _, k := range []int{0, 256} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			NewPortLock(a, k)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0 tree")
+		}
+	}()
+	New(a, 0, 0)
+}
+
+func TestTreeMutualExclusion(t *testing.T) {
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		for _, n := range []int{1, 2, 3, 5, 9, 16} {
+			res := mustRun(t, sim.Config{N: n, Model: model, Requests: 4, Seed: int64(n)})
+			if res.MaxCSOverlap != 1 {
+				t.Fatalf("[%v n=%d] ME violated: overlap %d", model, n, res.MaxCSOverlap)
+			}
+			if got := len(res.Requests); got != 4*n {
+				t.Fatalf("[%v n=%d] %d requests, want %d", model, n, got, 4*n)
+			}
+		}
+	}
+}
+
+func TestTreeSubLogRMRShape(t *testing.T) {
+	// Failure-free cost grows with the tree height (log n / log log n),
+	// strictly slower than the binary tournament's log n.
+	maxAt := func(n int) int64 {
+		res := mustRun(t, sim.Config{N: n, Model: memory.CC, Requests: 3, Seed: 2})
+		return res.SummarizePassageRMRs(nil).Max
+	}
+	m4, m64 := maxAt(4), maxAt(64)
+	if m64 < m4 {
+		t.Fatalf("cost shrank with n: %d → %d", m4, m64)
+	}
+	// Height goes 2 → 3 from n=4 (degree 2) to n=64 (degree 6); cost
+	// must stay within a small multiple, nothing like 16x linear growth.
+	if m64 > 5*m4 {
+		t.Fatalf("growth 4→64 too steep for sub-logarithmic shape: %d → %d", m4, m64)
+	}
+}
+
+func TestTreeCrashSweepExhaustive(t *testing.T) {
+	// Crash each process at every instruction offset in its first
+	// passage; ME and progress must survive every placement. This is the
+	// main torture test for the port lock's append-recovery scan.
+	for _, pid := range []int{0, 1, 3} {
+		for at := int64(0); at < 70; at++ {
+			plan := &sim.CrashAtOp{PID: pid, OpIndex: at}
+			res := mustRun(t, sim.Config{N: 4, Model: memory.CC, Requests: 2, Seed: 9, Plan: plan,
+				MaxSteps: 5_000_000})
+			if res.MaxCSOverlap != 1 {
+				t.Fatalf("pid=%d at=%d: ME violated", pid, at)
+			}
+			if got := len(res.Requests); got != 8 {
+				t.Fatalf("pid=%d at=%d: %d requests, want 8", pid, at, got)
+			}
+		}
+	}
+}
+
+func TestTreeRepeatedCrashes(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		plan := &sim.RandomFailures{Rate: 0.01, MaxPerProcess: 3, DuringPassage: true}
+		res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 4, Seed: seed, Plan: plan,
+			MaxSteps: 10_000_000})
+		if res.MaxCSOverlap != 1 {
+			t.Fatalf("seed=%d: ME violated with %d crashes", seed, res.CrashCount())
+		}
+		if got := len(res.Requests); got != 24 {
+			t.Fatalf("seed=%d: %d requests, want 24", seed, got)
+		}
+	}
+}
+
+func TestTreeCrashAtTailCAS(t *testing.T) {
+	// Target the append CAS specifically — the step whose recovery needs
+	// the O(k) decision scan — both before and immediately after it.
+	for _, after := range []bool{false, true} {
+		for occ := 0; occ < 3; occ++ {
+			plan := &sim.CrashOnLabel{PID: 1, Label: "portlock:cas-tail", Occurrence: occ, After: after}
+			res := mustRun(t, sim.Config{N: 4, Model: memory.CC, Requests: 3, Seed: 17, Plan: plan,
+				MaxSteps: 5_000_000})
+			if res.MaxCSOverlap != 1 {
+				t.Fatalf("after=%v occ=%d: ME violated", after, occ)
+			}
+			if got := len(res.Requests); got != 12 {
+				t.Fatalf("after=%v occ=%d: %d requests, want 12", after, occ, got)
+			}
+		}
+	}
+}
+
+func TestTreeCrashInCS(t *testing.T) {
+	plan := sim.PlanFunc(func(ctx sim.StepCtx) bool {
+		return ctx.PID == 2 && ctx.InCS && ctx.ProcCrashes == 0
+	})
+	res := mustRun(t, sim.Config{N: 5, Model: memory.CC, Requests: 2, Seed: 21, Plan: plan})
+	crashSeq := res.Crashes[0].Seq
+	for _, ev := range res.Events {
+		if ev.Seq > crashSeq && ev.Kind == sim.EvCSEnter {
+			if ev.PID != 2 {
+				t.Fatalf("BCSR violated: process %d entered first", ev.PID)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package arbtree provides the sub-logarithmic strongly recoverable base
+// lock used at the bottom of the paper's recursion: an arbitration tree of
+// degree Δ whose nodes are Δ-port strongly recoverable queue locks, in the
+// shape of Jayanti, Jayanti and Joshi's construction (PODC 2019).
+//
+// # The k-port node lock
+//
+// PortLock is an MCS-style queue lock over k designated ports (at most one
+// process attempts each port at a time — guaranteed in the tree by subtree
+// mutual exclusion). Unlike classic MCS it appends with a CAS loop whose
+// observed predecessor is persisted *before* the tail swing:
+//
+//	cur ← read(tail); pred[s] ← cur; CAS(tail, cur, ref(s, seq))
+//
+// so there is no instant at which the queue position is held only in
+// private registers — the paper's sensitive-FAS hazard (Section 4.3) is
+// traded for bounded CAS retries. Whether an interrupted append succeeded
+// is decidable from shared memory: the reference ref(s, seq) is unique per
+// acquisition and can only have been observed by others if it reached the
+// tail, so "appended ⇔ tail = ref ∨ ∃t: pred[t] = ref", an O(k) scan
+// performed only during crash recovery.
+//
+// Grants are sequence-stamped to make every step idempotent across
+// crashes, and the exit uses the Dvir–Taubenfeld wait-free handoff.
+//
+// Failure-free acquisitions cost O(1) RMRs per node under the CC model
+// (the grant spin is on a per-port word, cached until written). Under DSM
+// the grant word has no fixed home, so — like Golab and Hendler's
+// sub-logarithmic lock (see Table 1's footnote) — the sub-logarithmic
+// claim of the tree holds for the CC model.
+package arbtree
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+)
+
+// Port acquisition states. Idle is the zero value.
+const (
+	psIdle memory.Word = iota
+	psAppending
+	psQueued
+	psInCS
+	psLeaving
+)
+
+// selfMark is the Dvir–Taubenfeld exit marker stored in a next word to
+// signal "the predecessor left without seeing a successor".
+const selfMark = ^memory.Word(0)
+
+// ref encodes an acquisition reference: port s (8 bits) and the port's
+// acquisition sequence number. The zero value is the null reference.
+func ref(s int, seq memory.Word) memory.Word {
+	return seq<<8 | memory.Word(s+1)
+}
+
+func refPort(r memory.Word) int        { return int(r&0xff) - 1 }
+func refSeq(r memory.Word) memory.Word { return r >> 8 }
+
+// emptyOf is the era-stamped "no successor yet" value of a next word (port
+// bits zero, so it collides with neither references nor selfMark). The
+// stamp makes a crashed successor's late link-CAS from an earlier era fail
+// instead of polluting the port's next acquisition.
+func emptyOf(seq memory.Word) memory.Word { return seq << 8 }
+
+// PortLock is a k-port strongly recoverable queue lock.
+type PortLock struct {
+	k    int
+	tail memory.Addr
+
+	seq    []memory.Addr // per port: acquisition sequence number
+	pstate []memory.Addr // per port: acquisition state
+	pred   []memory.Addr // per port: persisted predecessor reference
+	next   []memory.Addr // per port: successor reference or selfMark
+	grant  []memory.Addr // per port: sequence number granted the lock
+}
+
+// NewPortLock allocates a k-port lock in sp. k is limited to 255 by the
+// reference encoding.
+func NewPortLock(sp memory.Space, k int) *PortLock {
+	if k < 1 || k > 255 {
+		panic(fmt.Sprintf("arbtree: NewPortLock k = %d, want 1..255", k))
+	}
+	l := &PortLock{
+		k:      k,
+		tail:   sp.Alloc(1, memory.HomeNone),
+		seq:    make([]memory.Addr, k),
+		pstate: make([]memory.Addr, k),
+		pred:   make([]memory.Addr, k),
+		next:   make([]memory.Addr, k),
+		grant:  make([]memory.Addr, k),
+	}
+	for s := 0; s < k; s++ {
+		l.seq[s] = sp.Alloc(1, memory.HomeNone)
+		l.pstate[s] = sp.Alloc(1, memory.HomeNone)
+		l.pred[s] = sp.Alloc(1, memory.HomeNone)
+		l.next[s] = sp.Alloc(1, memory.HomeNone)
+		l.grant[s] = sp.Alloc(1, memory.HomeNone)
+	}
+	return l
+}
+
+// Ports returns k.
+func (l *PortLock) Ports() int { return l.k }
+
+// Recover repairs port s after a failure: an interrupted exit is
+// completed. Everything else is handled idempotently by Enter.
+func (l *PortLock) Recover(p memory.Port, s int) {
+	if p.Read(l.pstate[s]) == psLeaving {
+		l.finishExit(p, s)
+	}
+}
+
+// Enter acquires the lock through port s.
+func (l *PortLock) Enter(p memory.Port, s int) {
+	switch p.Read(l.pstate[s]) {
+	case psInCS:
+		return // crashed inside the CS: bounded re-entry (BCSR)
+	case psLeaving:
+		// A crashed exit not yet repaired by Recover.
+		l.finishExit(p, s)
+	}
+
+	st := p.Read(l.pstate[s])
+	if st == psIdle {
+		// Start a fresh acquisition.
+		seq := p.Read(l.seq[s]) + 1
+		p.Write(l.seq[s], seq)
+		p.Write(l.next[s], emptyOf(seq))
+		p.Write(l.grant[s], 0)
+		p.Write(l.pred[s], selfMark)
+		p.Write(l.pstate[s], psAppending)
+		l.append(p, s)
+		p.Write(l.pstate[s], psQueued)
+	} else if st == psAppending {
+		// Crashed mid-append: decide from shared memory whether the
+		// tail swing happened (O(k) scan, recovery only).
+		if !l.appended(p, s) {
+			l.append(p, s)
+		}
+		p.Write(l.pstate[s], psQueued)
+	}
+
+	if p.Read(l.pstate[s]) == psQueued {
+		l.waitTurn(p, s)
+		p.Write(l.pstate[s], psInCS)
+	}
+}
+
+// append pushes ref(s, seq) onto the queue, persisting the observed
+// predecessor before each swing so a crash never loses the position.
+func (l *PortLock) append(p memory.Port, s int) {
+	me := ref(s, p.Read(l.seq[s]))
+	for {
+		cur := p.Read(l.tail)
+		p.Write(l.pred[s], cur)
+		p.Label("portlock:cas-tail")
+		if p.CAS(l.tail, cur, me) {
+			return
+		}
+	}
+}
+
+// appended reports whether port s's current reference made it into the
+// queue. The reference is unique to this acquisition, so any occurrence —
+// in the tail or in a persisted predecessor word (which is always a value
+// read from the tail) — proves the swing happened; and conversely, if the
+// swing happened, either no one has appended after us (tail still holds
+// the reference) or our successor persisted it before its own swing and
+// cannot advance past us while we are still here.
+func (l *PortLock) appended(p memory.Port, s int) bool {
+	me := ref(s, p.Read(l.seq[s]))
+	if p.Read(l.tail) == me {
+		return true
+	}
+	for t := 0; t < l.k; t++ {
+		if t != s && p.Read(l.pred[t]) == me {
+			return true
+		}
+	}
+	return false
+}
+
+// waitTurn blocks until the lock is ours: immediately if the queue was
+// empty at append time, otherwise after linking to the predecessor and
+// waiting for a sequence-stamped grant (or the predecessor's wait-free
+// exit marker).
+func (l *PortLock) waitTurn(p memory.Port, s int) {
+	mySeq := p.Read(l.seq[s])
+	prd := p.Read(l.pred[s])
+	if prd == 0 {
+		return // the queue was empty: the lock is ours
+	}
+	if p.Read(l.grant[s]) == mySeq {
+		return // already granted (crash-retry after the grant arrived)
+	}
+	pport := refPort(prd)
+	me := ref(s, mySeq)
+	// Create the link. The expected value is the predecessor's
+	// era-stamped empty marker, so this CAS can only succeed against the
+	// acquisition we actually queued behind — a late retry after the
+	// predecessor's port has been reused fails harmlessly. The outcome
+	// is ignored and the word re-read (Section 4.3's discipline).
+	p.CAS(l.next[pport], emptyOf(refSeq(prd)), me)
+	if p.Read(l.next[pport]) == me {
+		for p.Read(l.grant[s]) != mySeq {
+			p.Pause()
+		}
+	}
+	// Otherwise the predecessor performed its wait-free exit (selfMark),
+	// or its acquisition is already over without a grant recorded for us
+	// — which also implies the wait-free handoff: the lock is ours.
+}
+
+// Exit releases the lock held through port s. Bounded and idempotent.
+func (l *PortLock) Exit(p memory.Port, s int) {
+	st := p.Read(l.pstate[s])
+	if st != psInCS && st != psLeaving {
+		return // already fully released (e.g. re-run of a composite exit)
+	}
+	p.Write(l.pstate[s], psLeaving)
+	l.finishExit(p, s)
+}
+
+func (l *PortLock) finishExit(p memory.Port, s int) {
+	mySeq := p.Read(l.seq[s])
+	me := ref(s, mySeq)
+	// Detach if we are the last node; ignore the outcome (idempotent).
+	p.CAS(l.tail, me, 0)
+	// Wait-free exit marker: a successor that has not linked yet will
+	// find it and take the lock without a grant.
+	p.CAS(l.next[s], emptyOf(mySeq), selfMark)
+	if nxt := p.Read(l.next[s]); nxt != selfMark {
+		// The link exists: grant the successor by its own sequence
+		// number, making duplicate grants to later acquisitions inert.
+		p.Write(l.grant[refPort(nxt)], refSeq(nxt))
+	}
+	p.Write(l.pstate[s], psIdle)
+}

@@ -1,0 +1,143 @@
+// Package bakery implements a strongly recoverable variant of Lamport's
+// bakery lock: an n-process mutual exclusion algorithm using only read and
+// write instructions, with Θ(n) RMRs per passage under the CC model.
+//
+// It plays two roles in the reproduction:
+//
+//   - A base/core lock with T(n) = Θ(n). Plugged into the semi-adaptive
+//     framework it reproduces the shape of Golab and Ramaraju's Section 4.2
+//     row of the paper's Table 1 — O(1) without failures, O(n) with —
+//     using a read/write core like theirs.
+//   - A reminder of why the paper needs FAS/CAS at all: with read/write
+//     (and comparison) primitives alone, Ω(log n) RMRs per passage is a
+//     lower bound (Attiya, Hendler & Woelfel 2008), and simple scan-based
+//     algorithms like this one pay Θ(n).
+//
+// Recoverability follows the paper's discipline: every per-process
+// variable is shared, segments advance a persistent state machine, and
+// each block is idempotent. A crash during the doorway aborts the attempt
+// (the ticket is withdrawn — equivalent to the process never having
+// arrived); a crash during the scan re-runs it with the same ticket; a
+// crash in the CS re-enters via a bounded fast path (BCSR); a crash during
+// Exit completes it in Recover.
+//
+// Like all scan-based locks, waiting spins on remote words: per-passage
+// RMRs are bounded under CC (each awaited word is cached until its writer
+// changes it) but not under DSM.
+package bakery
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+)
+
+// Per-process states. Idle is the zero value.
+const (
+	bsIdle memory.Word = iota
+	bsChoosing
+	bsChosen
+	bsInCS
+	bsLeaving
+)
+
+// Lock is the recoverable bakery lock.
+type Lock struct {
+	n        int
+	choosing []memory.Addr
+	number   []memory.Addr
+	state    []memory.Addr
+}
+
+// New allocates a bakery lock for n processes in sp.
+func New(sp memory.Space, n int) *Lock {
+	if n < 1 {
+		panic(fmt.Sprintf("bakery: New n = %d", n))
+	}
+	l := &Lock{
+		n:        n,
+		choosing: make([]memory.Addr, n),
+		number:   make([]memory.Addr, n),
+		state:    make([]memory.Addr, n),
+	}
+	for i := 0; i < n; i++ {
+		l.choosing[i] = sp.Alloc(1, i)
+		l.number[i] = sp.Alloc(1, i)
+		l.state[i] = sp.Alloc(1, i)
+	}
+	return l
+}
+
+// Recover repairs the lock after a failure of the calling process.
+func (l *Lock) Recover(p memory.Port) {
+	i := p.PID()
+	switch p.Read(l.state[i]) {
+	case bsChoosing:
+		// Crashed mid-doorway: the ticket may be half-taken. Withdraw
+		// it and retry from scratch — to every other process this is
+		// indistinguishable from the ticket never having been taken.
+		p.Write(l.number[i], 0)
+		p.Write(l.choosing[i], 0)
+		p.Write(l.state[i], bsIdle)
+	case bsLeaving:
+		l.finishExit(p)
+	}
+}
+
+// Enter acquires the lock.
+func (l *Lock) Enter(p memory.Port) {
+	i := p.PID()
+	if p.Read(l.state[i]) == bsInCS {
+		return // crashed inside the CS: bounded re-entry (BCSR)
+	}
+
+	if p.Read(l.state[i]) == bsIdle {
+		// Doorway: draw a ticket larger than every ticket in sight.
+		p.Write(l.choosing[i], 1)
+		p.Write(l.state[i], bsChoosing)
+		var max memory.Word
+		for j := 0; j < l.n; j++ {
+			if v := p.Read(l.number[j]); v > max {
+				max = v
+			}
+		}
+		p.Label("bakery:ticket")
+		p.Write(l.number[i], max+1)
+		p.Write(l.choosing[i], 0)
+		p.Write(l.state[i], bsChosen)
+	}
+
+	// Scan: wait for every smaller-ticket process. Re-running the scan
+	// after a crash is harmless — the ticket is unchanged, so priority
+	// is preserved.
+	me := p.Read(l.number[i])
+	for j := 0; j < l.n; j++ {
+		if j == i {
+			continue
+		}
+		for memory.AsBool(p.Read(l.choosing[j])) {
+			p.Pause()
+		}
+		for {
+			v := p.Read(l.number[j])
+			if v == 0 || v > me || (v == me && j > i) {
+				break
+			}
+			p.Pause()
+		}
+	}
+	p.Write(l.state[i], bsInCS)
+}
+
+// Exit releases the lock. Bounded; a crashed Exit is completed by Recover.
+func (l *Lock) Exit(p memory.Port) {
+	i := p.PID()
+	p.Write(l.state[i], bsLeaving)
+	l.finishExit(p)
+}
+
+func (l *Lock) finishExit(p memory.Port) {
+	i := p.PID()
+	p.Write(l.number[i], 0)
+	p.Write(l.state[i], bsIdle)
+}

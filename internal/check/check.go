@@ -1,0 +1,304 @@
+// Package check validates the paper's correctness properties (Section 2.4,
+// Section 3) against simulation histories recorded by internal/sim:
+//
+//   - mutual exclusion (ME) for strongly recoverable locks;
+//   - responsiveness (Definition 3.5 / Theorem 4.2) for weakly recoverable
+//     locks: k+1 simultaneous critical-section occupants must overlap the
+//     consequence intervals (Definition 3.1) of at least k failures;
+//   - bounded critical-section re-entry (BCSR);
+//   - starvation freedom, observed as satisfaction of every request;
+//   - FCFS in failure-free histories (via doorway instruction labels).
+//
+// The checkers work on the lifecycle events that every run records; only
+// FCFS and escalation-depth extraction require Config.RecordOps.
+package check
+
+import (
+	"fmt"
+
+	"rme/internal/sim"
+)
+
+// reqKey identifies one request (super-passage) of a process.
+type reqKey struct {
+	pid int
+	idx int
+}
+
+// Interval is a half-open interval of global logical time.
+type Interval struct {
+	Start, End int64
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t int64) bool { return iv.Start <= t && t <= iv.End }
+
+// MutualExclusion verifies that at most one process was in its critical
+// section at any time. Use it for strongly recoverable locks.
+func MutualExclusion(res *sim.Result) error {
+	if res.MaxCSOverlap > 1 {
+		return fmt.Errorf("check: mutual exclusion violated: %d processes in CS simultaneously", res.MaxCSOverlap)
+	}
+	return nil
+}
+
+// Satisfaction verifies that every generated request was satisfied — the
+// observable form of starvation freedom in a finite history.
+func Satisfaction(res *sim.Result) error {
+	gen := map[reqKey]bool{}
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case sim.EvRequest:
+			gen[reqKey{ev.PID, ev.Request}] = true
+		case sim.EvSatisfied:
+			delete(gen, reqKey{ev.PID, ev.Request})
+		}
+	}
+	if len(gen) > 0 {
+		return fmt.Errorf("check: %d requests generated but never satisfied", len(gen))
+	}
+	return nil
+}
+
+// ConsequenceIntervals computes the consequence interval of every failure
+// in the history (Definition 3.1): from the failure until every request
+// generated before it has been satisfied (or the history ends).
+func ConsequenceIntervals(res *sim.Result) []Interval {
+	var last int64
+	if n := len(res.Events); n > 0 {
+		last = res.Events[n-1].Seq
+	}
+	type reqTimes struct{ gen, sat int64 }
+	reqs := make([]reqTimes, 0, len(res.Requests))
+	sat := make(map[reqKey]int64, len(res.Requests))
+	for _, ev := range res.Events {
+		if ev.Kind == sim.EvSatisfied {
+			sat[reqKey{ev.PID, ev.Request}] = ev.Seq
+		}
+	}
+	for _, ev := range res.Events {
+		if ev.Kind != sim.EvRequest {
+			continue
+		}
+		s, ok := sat[reqKey{ev.PID, ev.Request}]
+		if !ok {
+			s = last // unsatisfied: the interval extends to history end
+		}
+		reqs = append(reqs, reqTimes{gen: ev.Seq, sat: s})
+	}
+	out := make([]Interval, 0, len(res.Crashes))
+	for _, c := range res.Crashes {
+		end := c.Seq
+		for _, r := range reqs {
+			if r.gen < c.Seq && r.sat > end {
+				end = r.sat
+			}
+		}
+		out = append(out, Interval{Start: c.Seq, End: end})
+	}
+	return out
+}
+
+// Responsiveness verifies Definition 3.5 (as instantiated by Theorem 4.2):
+// whenever k+1 processes were in their critical sections simultaneously,
+// that moment overlaps the consequence intervals of at least k failures.
+func Responsiveness(res *sim.Result) error {
+	ivs := ConsequenceIntervals(res)
+	occ := 0
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case sim.EvCSEnter:
+			occ++
+			if occ > 1 {
+				k := occ - 1
+				cover := 0
+				for _, iv := range ivs {
+					if iv.Contains(ev.Seq) {
+						cover++
+					}
+				}
+				if cover < k {
+					return fmt.Errorf("check: responsiveness violated at seq %d: %d processes in CS but only %d overlapping failure consequence intervals",
+						ev.Seq, occ, cover)
+				}
+			}
+		case sim.EvCSExit:
+			occ--
+		case sim.EvCrash:
+			// A process that crashes inside its CS leaves it.
+			if inCSCrash(res, ev) {
+				occ--
+			}
+		}
+	}
+	return nil
+}
+
+func inCSCrash(res *sim.Result, ev sim.Event) bool {
+	for _, c := range res.Crashes {
+		if c.Seq == ev.Seq {
+			return c.InCS
+		}
+	}
+	return false
+}
+
+// BCSR verifies bounded critical-section re-entry for strongly recoverable
+// locks: after a process crashes inside its CS, no other process enters a
+// CS before the crashed process re-enters, and the re-entry passage is
+// bounded by maxOps instructions.
+func BCSR(res *sim.Result, maxOps int64) error {
+	for _, c := range res.Crashes {
+		if !c.InCS {
+			continue
+		}
+		for _, ev := range res.Events {
+			if ev.Seq <= c.Seq || ev.Kind != sim.EvCSEnter {
+				continue
+			}
+			if ev.PID != c.PID {
+				return fmt.Errorf("check: BCSR violated: process %d entered CS at seq %d before crashed process %d re-entered",
+					ev.PID, ev.Seq, c.PID)
+			}
+			break
+		}
+		for _, p := range res.Passages {
+			if p.PID == c.PID && p.StartSeq > c.Seq && !p.Crashed {
+				if p.Ops > maxOps {
+					return fmt.Errorf("check: BCSR re-entry of process %d took %d ops, bound %d", c.PID, p.Ops, maxOps)
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// FCFS verifies first-come-first-served order in a failure-free history:
+// processes enter their critical sections in the order of their doorway
+// instructions, identified by label (e.g. the queue-append FAS). Requires
+// Config.RecordOps.
+func FCFS(res *sim.Result, doorwayLabel string) error {
+	if len(res.Crashes) > 0 {
+		return fmt.Errorf("check: FCFS only applies to failure-free histories (%d crashes)", len(res.Crashes))
+	}
+	var doorway, entries []int
+	for _, ev := range res.Events {
+		switch {
+		case ev.Kind == sim.EvOp && ev.Op.Label == doorwayLabel:
+			doorway = append(doorway, ev.PID)
+		case ev.Kind == sim.EvCSEnter:
+			entries = append(entries, ev.PID)
+		}
+	}
+	if len(doorway) == 0 {
+		return fmt.Errorf("check: no doorway instructions labeled %q (RecordOps off, or wrong label?)", doorwayLabel)
+	}
+	if len(doorway) != len(entries) {
+		return fmt.Errorf("check: %d doorway instructions but %d CS entries", len(doorway), len(entries))
+	}
+	for i := range doorway {
+		if doorway[i] != entries[i] {
+			return fmt.Errorf("check: FCFS violated at position %d: doorway order %v, entry order %v", i, doorway, entries)
+		}
+	}
+	return nil
+}
+
+// Strong runs the full battery for strongly recoverable locks.
+func Strong(res *sim.Result, bcsrMaxOps int64) error {
+	if err := MutualExclusion(res); err != nil {
+		return err
+	}
+	if err := Satisfaction(res); err != nil {
+		return err
+	}
+	return BCSR(res, bcsrMaxOps)
+}
+
+// Weak runs the battery for weakly recoverable locks: starvation freedom
+// plus responsiveness in place of unconditional mutual exclusion.
+func Weak(res *sim.Result) error {
+	if err := Satisfaction(res); err != nil {
+		return err
+	}
+	return Responsiveness(res)
+}
+
+// MaxDepth returns the deepest BA-Lock level any passage escalated to,
+// given the slow-path commitment labels (outermost first, from
+// BALock.SlowLabels). Depth 1 means no process ever left the outermost
+// fast path; a slow commitment at level k (label index k-1) means depth
+// k+1 was reached. Requires Config.RecordOps.
+func MaxDepth(res *sim.Result, slowLabels []string) int {
+	idx := make(map[string]int, len(slowLabels))
+	for i, l := range slowLabels {
+		idx[l] = i + 1
+	}
+	depth := 1
+	for _, ev := range res.Events {
+		if ev.Kind != sim.EvOp || ev.Op.Label == "" {
+			continue
+		}
+		if d, ok := idx[ev.Op.Label]; ok && d+1 > depth {
+			depth = d + 1
+		}
+	}
+	return depth
+}
+
+// SegmentBounds verifies the bounded-recovery (BR) and bounded-exit (BE)
+// properties empirically: in a history recorded with Config.RecordOps, no
+// execution of the Recover segment (passage-start → enter-start) or the
+// Exit segment (cs-exit → passage-end) may exceed the given instruction
+// budgets. Crashed segment executions are excluded (they are unbounded by
+// definition only in the sense that they end early).
+func SegmentBounds(res *sim.Result, maxRecover, maxExit int64) error {
+	type segState struct {
+		inRecover bool
+		inExit    bool
+		count     int64
+	}
+	procs := map[int]*segState{}
+	get := func(pid int) *segState {
+		s, ok := procs[pid]
+		if !ok {
+			s = &segState{}
+			procs[pid] = s
+		}
+		return s
+	}
+	sawOps := false
+	for _, ev := range res.Events {
+		s := get(ev.PID)
+		switch ev.Kind {
+		case sim.EvOp:
+			sawOps = true
+			if s.inRecover || s.inExit {
+				s.count++
+			}
+		case sim.EvPassageStart:
+			s.inRecover, s.count = true, 0
+		case sim.EvEnterStart:
+			if s.inRecover && s.count > maxRecover {
+				return fmt.Errorf("check: BR violated: process %d spent %d ops in Recover (bound %d)",
+					ev.PID, s.count, maxRecover)
+			}
+			s.inRecover = false
+		case sim.EvCSExit:
+			s.inExit, s.count = true, 0
+		case sim.EvPassageEnd:
+			if s.inExit && s.count > maxExit {
+				return fmt.Errorf("check: BE violated: process %d spent %d ops in Exit (bound %d)",
+					ev.PID, s.count, maxExit)
+			}
+			s.inExit = false
+		case sim.EvCrash:
+			s.inRecover, s.inExit = false, false
+		}
+	}
+	if !sawOps {
+		return fmt.Errorf("check: SegmentBounds requires a history recorded with RecordOps")
+	}
+	return nil
+}

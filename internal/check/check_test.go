@@ -1,0 +1,211 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"rme/internal/core"
+	"rme/internal/grlock"
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+func wr(sp memory.Space, n int) sim.Lock { return core.NewWRLock(sp, n, "wr", nil) }
+
+func tournament(sp memory.Space, n int) sim.Lock { return grlock.NewTournament(sp, n) }
+
+func ba(sp memory.Space, n int) sim.Lock {
+	return core.NewBALock(sp, n, core.DefaultLevels(n),
+		func(sp memory.Space, n int) core.RecoverableLock { return grlock.NewTournament(sp, n) }, nil)
+}
+
+func mustRun(t *testing.T, cfg sim.Config, f sim.Factory) *sim.Result {
+	t.Helper()
+	r, err := sim.New(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 5, End: 10}
+	for _, tt := range []struct {
+		t    int64
+		want bool
+	}{{4, false}, {5, true}, {7, true}, {10, true}, {11, false}} {
+		if got := iv.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%d) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestStrongBatteryOnTournament(t *testing.T) {
+	plan := &sim.RandomFailures{Rate: 0.01, MaxTotal: 6, DuringPassage: true}
+	res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 3, Seed: 2, Plan: plan,
+		MaxSteps: 5_000_000}, tournament)
+	if err := Strong(res, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeakBatteryOnWRLock(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		plan := &sim.RandomFailures{Rate: 0.02, MaxTotal: 8, DuringPassage: true}
+		res := mustRun(t, sim.Config{N: 8, Model: memory.DSM, Requests: 3, Seed: seed, Plan: plan}, wr)
+		if err := Weak(res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestResponsivenessCatchesBrokenLock(t *testing.T) {
+	// A lock with no synchronization violates responsiveness (overlap
+	// without any failures).
+	res := mustRun(t, sim.Config{N: 4, Model: memory.CC, Requests: 10, Seed: 3, CSOps: 5}, noLockFactory)
+	if res.MaxCSOverlap < 2 {
+		t.Skip("schedule produced no overlap; cannot exercise the checker")
+	}
+	if err := Responsiveness(res); err == nil {
+		t.Fatal("responsiveness checker accepted an unsynchronized lock")
+	}
+	if err := MutualExclusion(res); err == nil {
+		t.Fatal("ME checker accepted an unsynchronized lock")
+	}
+}
+
+type noLock struct{ w memory.Addr }
+
+func noLockFactory(sp memory.Space, n int) sim.Lock {
+	return &noLock{w: sp.Alloc(1, memory.HomeNone)}
+}
+
+func (l *noLock) Recover(p memory.Port) {}
+func (l *noLock) Enter(p memory.Port)   { p.Read(l.w) }
+func (l *noLock) Exit(p memory.Port)    { p.Read(l.w) }
+
+func TestConsequenceIntervals(t *testing.T) {
+	plan := &sim.CrashAtOp{PID: 0, OpIndex: 3}
+	res := mustRun(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 5, Plan: plan}, wr)
+	ivs := ConsequenceIntervals(res)
+	if len(ivs) != 1 {
+		t.Fatalf("%d intervals, want 1", len(ivs))
+	}
+	iv := ivs[0]
+	if iv.Start != res.Crashes[0].Seq {
+		t.Fatalf("interval start %d, want crash seq %d", iv.Start, res.Crashes[0].Seq)
+	}
+	if iv.End < iv.Start {
+		t.Fatalf("inverted interval %+v", iv)
+	}
+	// The crashed process's own request was generated before the failure
+	// and satisfied after it, so the interval must extend at least to
+	// that satisfaction.
+	for _, q := range res.Requests {
+		if q.PID == 0 && q.Index == 0 && iv.End < q.SatSeq {
+			t.Fatalf("interval ends at %d before the pending request was satisfied at %d", iv.End, q.SatSeq)
+		}
+	}
+}
+
+func TestSatisfactionDetectsStarvation(t *testing.T) {
+	// Manufacture a truncated history: request generated, never satisfied.
+	res := &sim.Result{Events: []sim.Event{
+		{Seq: 1, PID: 0, Kind: sim.EvRequest, Request: 0},
+		{Seq: 2, PID: 1, Kind: sim.EvRequest, Request: 0},
+		{Seq: 9, PID: 1, Kind: sim.EvSatisfied, Request: 0},
+	}}
+	err := Satisfaction(res)
+	if err == nil || !strings.Contains(err.Error(), "never satisfied") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBCSRChecker(t *testing.T) {
+	plan := sim.PlanFunc(func(ctx sim.StepCtx) bool {
+		return ctx.PID == 2 && ctx.InCS && ctx.ProcCrashes == 0
+	})
+	res := mustRun(t, sim.Config{N: 5, Model: memory.CC, Requests: 2, Seed: 7, Plan: plan}, tournament)
+	if err := BCSR(res, 500); err != nil {
+		t.Fatal(err)
+	}
+	// An absurdly small bound must trip the step check.
+	if err := BCSR(res, 1); err == nil {
+		t.Fatal("BCSR accepted a 1-op bound for a multi-op re-entry")
+	}
+}
+
+func TestBCSRCheckerCatchesViolation(t *testing.T) {
+	res := &sim.Result{
+		Crashes: []sim.CrashStat{{PID: 0, Seq: 10, InCS: true}},
+		Events: []sim.Event{
+			{Seq: 10, PID: 0, Kind: sim.EvCrash},
+			{Seq: 12, PID: 1, Kind: sim.EvCSEnter},
+			{Seq: 20, PID: 0, Kind: sim.EvCSEnter},
+		},
+	}
+	if err := BCSR(res, 100); err == nil {
+		t.Fatal("BCSR checker missed an interloper")
+	}
+}
+
+func TestFCFSChecker(t *testing.T) {
+	res := mustRun(t, sim.Config{N: 5, Model: memory.CC, Requests: 3, Seed: 9, RecordOps: true}, wr)
+	if err := FCFS(res, "wr:fas"); err != nil {
+		t.Fatal(err)
+	}
+	if err := FCFS(res, "nonexistent:label"); err == nil {
+		t.Fatal("FCFS accepted a label that never occurs")
+	}
+	// FCFS refuses histories with failures.
+	plan := &sim.CrashAtOp{PID: 0, OpIndex: 2}
+	res2 := mustRun(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 9, Plan: plan, RecordOps: true}, wr)
+	if err := FCFS(res2, "wr:fas"); err == nil {
+		t.Fatal("FCFS accepted a history with crashes")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	labels := []string{"F1:slow", "F2:slow", "F3:slow"}
+	res := &sim.Result{Events: []sim.Event{
+		{Kind: sim.EvOp, Op: memory.OpInfo{Label: "F1:slow"}},
+		{Kind: sim.EvOp, Op: memory.OpInfo{Label: "F2:slow"}},
+	}}
+	if got := MaxDepth(res, labels); got != 3 {
+		t.Fatalf("MaxDepth = %d, want 3", got)
+	}
+	if got := MaxDepth(&sim.Result{}, labels); got != 1 {
+		t.Fatalf("empty history MaxDepth = %d, want 1", got)
+	}
+}
+
+func TestMaxDepthOnBALock(t *testing.T) {
+	res := mustRun(t, sim.Config{N: 8, Model: memory.CC, Requests: 3, Seed: 11, RecordOps: true}, ba)
+	labels := []string{"F1:slow", "F2:slow", "F3:slow"}
+	if got := MaxDepth(res, labels); got != 1 {
+		t.Fatalf("failure-free BA run reached depth %d, want 1", got)
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	plan := &sim.RandomFailures{Rate: 0.01, MaxTotal: 4, DuringPassage: true}
+	res := mustRun(t, sim.Config{N: 5, Model: memory.CC, Requests: 3, Seed: 6, Plan: plan,
+		RecordOps: true, MaxSteps: 5_000_000}, wr)
+	// WR-Lock: Recover and Exit are short straight-line code.
+	if err := SegmentBounds(res, 12, 12); err != nil {
+		t.Fatal(err)
+	}
+	// An absurd bound must trip.
+	if err := SegmentBounds(res, 0, 0); err == nil {
+		t.Fatal("zero bounds accepted")
+	}
+	// Histories without ops are rejected.
+	res2 := mustRun(t, sim.Config{N: 2, Model: memory.CC, Requests: 1, Seed: 1}, wr)
+	if err := SegmentBounds(res2, 100, 100); err == nil {
+		t.Fatal("accepted a history without RecordOps")
+	}
+}

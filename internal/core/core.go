@@ -1,0 +1,66 @@
+// Package core implements the contributions of Dhoked & Mittal, "An
+// Adaptive Approach to Recoverable Mutual Exclusion" (PODC 2020):
+//
+//   - WRLock — the optimal weakly recoverable MCS-based queue lock with
+//     wait-free exit (Section 4, Algorithm 2). O(1) RMRs per passage in
+//     every failure scenario; a crash immediately after its single
+//     sensitive instruction (the FAS on the queue tail) may fragment the
+//     queue and violate mutual exclusion temporarily and responsively.
+//   - Splitter — the biased O(1) try-lock used to route processes onto the
+//     fast or slow path (Section 5.1).
+//   - SALock — the semi-adaptive framework (Algorithm 3): filter lock →
+//     splitter → {fast path | core lock} → dual-port arbitrator.
+//   - BALock — the recursive well-bounded super-adaptive lock
+//     (Section 5.2): m = T(n) stacked SALock levels over a non-adaptive
+//     strongly recoverable base lock, giving O(min{√F, T(n)}) RMRs per
+//     passage when the super-passage overlaps F failures.
+//
+// All locks follow the paper's execution model (Recover, Enter, Exit) and
+// keep every per-process mutable variable in shared memory, so they
+// tolerate crash–recover failures at any instruction boundary.
+package core
+
+import "rme/internal/memory"
+
+// NodeSource supplies queue nodes to WRLock. The paper pairs the lock with
+// the memory-reclamation algorithm of Section 7.2 (internal/reclaim), whose
+// NewNode is idempotent: repeated calls return the same node until Retire
+// is called, which tolerates crashes between obtaining a node and
+// persisting the reference.
+type NodeSource interface {
+	// NewNode returns the address of a 2-word queue node (offset 0:
+	// locked flag, offset 1: next pointer) for the calling process.
+	NewNode(p memory.Port) memory.Addr
+	// Retire declares the calling process done with its current node.
+	Retire(p memory.Port)
+}
+
+// AllocSource is the trivial NodeSource: every call allocates a fresh node
+// and Retire is a no-op. It never reuses memory (space grows with the
+// number of passages) but is safe unconditionally; use internal/reclaim
+// for the paper's bounded-space pools.
+type AllocSource struct{}
+
+// NewNode implements NodeSource.
+func (AllocSource) NewNode(p memory.Port) memory.Addr {
+	return p.Alloc(qnodeWords, p.PID())
+}
+
+// Retire implements NodeSource.
+func (AllocSource) Retire(p memory.Port) {}
+
+const (
+	qnodeWords = 2
+	offLocked  = 0
+	offNext    = 1
+)
+
+// Process states with respect to a WRLock (Section 4.3). Free is the zero
+// value so freshly allocated shared memory is a valid initial state.
+const (
+	stateFree memory.Word = iota
+	stateInitializing
+	stateTrying
+	stateInCS
+	stateLeaving
+)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+	"rme/internal/yalock"
+)
+
+// RecoverableLock is a (strongly or weakly) recoverable mutual exclusion
+// algorithm following the paper's execution model. It is structurally
+// identical to sim.Lock so locks flow freely between the framework and the
+// simulator.
+type RecoverableLock interface {
+	Recover(p memory.Port)
+	Enter(p memory.Port)
+	Exit(p memory.Port)
+}
+
+// Path types stored in type[i]. Fast is the zero value, matching the
+// paper's initialization (type[j] ← FAST).
+const (
+	pathFast memory.Word = iota
+	pathSlow
+)
+
+// SALock is the semi-adaptive framework lock of Section 5.1 (Algorithm 3,
+// Figure 2). A process first acquires the weakly recoverable filter lock,
+// then navigates the splitter: the fast path leads directly to the Left
+// port of the arbitrator; losers commit to the slow path, acquire the
+// core lock, and enter the arbitrator from the Right.
+//
+// With a strongly recoverable core lock of worst-case RMR complexity
+// T(n), SALock is strongly recoverable with O(1) RMRs per failure-free
+// passage and O(T(n)) with failures (Theorems 5.5, 5.6).
+type SALock struct {
+	n      int
+	name   string
+	filter *WRLock
+	split  *Splitter
+	core   RecoverableLock
+	arb    *yalock.Arbitrator
+	typ    []memory.Addr
+
+	slowLabel string
+	// slowHook, when set (by BALock's level memoization), runs right
+	// after a process commits to the slow path.
+	slowHook func(p memory.Port)
+}
+
+// NewSALock allocates a semi-adaptive lock named name for n processes.
+// core must be a strongly recoverable lock (it guards the arbitrator's
+// Right port). src supplies nodes to the filter lock; nil selects
+// AllocSource.
+func NewSALock(sp memory.Space, n int, name string, core RecoverableLock, src NodeSource) *SALock {
+	if core == nil {
+		panic("core: NewSALock requires a core lock")
+	}
+	l := &SALock{
+		n:         n,
+		name:      name,
+		filter:    NewWRLock(sp, n, name, src),
+		split:     NewSplitter(sp),
+		core:      core,
+		arb:       yalock.New(sp, n),
+		typ:       make([]memory.Addr, n),
+		slowLabel: name + ":slow",
+	}
+	for i := 0; i < n; i++ {
+		l.typ[i] = sp.Alloc(1, i)
+	}
+	return l
+}
+
+// Name returns the instance name (also the filter lock's name).
+func (l *SALock) Name() string { return l.name }
+
+// Filter exposes the filter lock (for diagnostics and experiments).
+func (l *SALock) Filter() *WRLock { return l.filter }
+
+// Core exposes the core lock.
+func (l *SALock) Core() RecoverableLock { return l.core }
+
+// Splitter exposes the splitter.
+func (l *SALock) Splitter() *Splitter { return l.split }
+
+// SlowLabel returns the label carried by the instruction that commits a
+// process to the slow path; harnesses count it to measure escalation.
+func (l *SALock) SlowLabel() string { return l.slowLabel }
+
+func (l *SALock) side(p memory.Port) yalock.Side {
+	if p.Read(l.typ[p.PID()]) == pathSlow {
+		return yalock.Right
+	}
+	return yalock.Left
+}
+
+// Recover is empty: following Algorithm 3, each component recoverable
+// lock runs its Recover segment immediately before its Enter segment.
+func (l *SALock) Recover(p memory.Port) {}
+
+// Enter implements the Enter segment of Algorithm 3.
+func (l *SALock) Enter(p memory.Port) {
+	i := p.PID()
+
+	l.filter.Recover(p)
+	l.filter.Enter(p)
+
+	if p.Read(l.typ[i]) != pathSlow { // not yet committed to the slow path
+		l.split.Try(p) // attempt to take the fast path
+	}
+	if !l.split.Mine(p) { // unable to take the fast path
+		p.Label(l.slowLabel)
+		p.Write(l.typ[i], pathSlow) // committed to the slow path
+		if l.slowHook != nil {
+			l.slowHook(p)
+		}
+		l.core.Recover(p)
+		l.core.Enter(p)
+	}
+
+	l.AcquireArbitrator(p)
+}
+
+// AcquireArbitrator runs only the final stage of the Enter segment: the
+// arbitrator acquisition from the side the process's path type selects.
+// BALock's level-memoized recovery uses it to unwind through levels whose
+// filter, splitter and core stages the process still holds from before its
+// crash.
+func (l *SALock) AcquireArbitrator(p memory.Port) {
+	side := l.side(p)
+	l.arb.Recover(p, side)
+	l.arb.Enter(p, side)
+}
+
+// Exit implements the Exit segment of Algorithm 3: components are
+// released in the reverse order of acquisition.
+func (l *SALock) Exit(p memory.Port) {
+	i := p.PID()
+
+	l.arb.Exit(p, l.side(p))
+
+	if p.Read(l.typ[i]) == pathSlow {
+		l.core.Exit(p)
+	} else {
+		l.split.Release(p) // the fast path is now empty
+	}
+	p.Write(l.typ[i], pathFast) // reset the path type to its default
+
+	l.filter.Exit(p)
+}
+
+// Describe returns a one-line structural description (Figure 2).
+func (l *SALock) Describe() string {
+	return fmt.Sprintf("%s: filter(WR) → splitter → {fast | core} → arbitrator", l.name)
+}

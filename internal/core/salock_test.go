@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"rme/internal/grlock"
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+func saFactory(sp memory.Space, n int) sim.Lock {
+	return NewSALock(sp, n, "SA", grlock.NewTournament(sp, n), nil)
+}
+
+func TestSplitterBasics(t *testing.T) {
+	a := memory.NewArena(memory.CC, 3)
+	s := NewSplitter(a)
+	p0 := a.Port(0, nil)
+	p2 := a.Port(2, nil)
+
+	if s.Occupant(a) != -1 {
+		t.Fatal("fresh splitter occupied")
+	}
+	s.Try(p0)
+	if !s.Mine(p0) {
+		t.Fatal("first Try did not take the fast path")
+	}
+	s.Try(p2)
+	if s.Mine(p2) {
+		t.Fatal("splitter admitted two processes to the fast path")
+	}
+	if s.Occupant(a) != 0 {
+		t.Fatalf("occupant = %d, want 0", s.Occupant(a))
+	}
+	// Try is idempotent for the occupant (crash-retry path).
+	s.Try(p0)
+	if !s.Mine(p0) {
+		t.Fatal("re-Try evicted the occupant")
+	}
+	s.Release(p0)
+	if s.Occupant(a) != -1 {
+		t.Fatal("release did not empty the fast path")
+	}
+	s.Try(p2)
+	if !s.Mine(p2) {
+		t.Fatal("fast path not reusable after release")
+	}
+}
+
+func TestSALockFailureFree(t *testing.T) {
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		for _, n := range []int{1, 2, 4, 8} {
+			res := mustRun(t, sim.Config{N: n, Model: model, Requests: 4, Seed: int64(n)}, saFactory)
+			if res.MaxCSOverlap != 1 {
+				t.Fatalf("[%v n=%d] ME violated: overlap %d", model, n, res.MaxCSOverlap)
+			}
+			if got := len(res.Requests); got != 4*n {
+				t.Fatalf("[%v n=%d] %d requests, want %d", model, n, got, 4*n)
+			}
+		}
+	}
+}
+
+func TestSALockConstantRMRsWithoutFailures(t *testing.T) {
+	// Theorem 5.6 first half: failure-free passages cost O(1) —
+	// independent of n — because every process takes the fast path.
+	const bound = 45
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		var prev int64
+		for _, n := range []int{2, 8, 32} {
+			res := mustRun(t, sim.Config{N: n, Model: model, Requests: 5, Seed: 3}, saFactory)
+			s := res.SummarizePassageRMRs(nil)
+			if s.Max > bound {
+				t.Fatalf("[%v n=%d] max RMRs = %d, want ≤ %d", model, n, s.Max, bound)
+			}
+			if prev != 0 && s.Max > prev+4 {
+				t.Fatalf("[%v] failure-free RMRs grew with n: %d → %d", model, prev, s.Max)
+			}
+			prev = s.Max
+		}
+	}
+}
+
+func TestSALockNoSlowPathWithoutFailures(t *testing.T) {
+	res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 4, Seed: 5, RecordOps: true}, saFactory)
+	for _, ev := range res.Events {
+		if ev.Kind == sim.EvOp && ev.Op.Label == "SA:slow" {
+			t.Fatal("a process took the slow path without any failure")
+		}
+	}
+}
+
+func TestSALockUnsafeFailureDivertsToSlowPath(t *testing.T) {
+	// An unsafe failure of the filter lets several processes through; all
+	// but one divert to the slow path, and ME of the target lock holds
+	// (Theorem 5.1).
+	plan := &sim.CrashOnLabel{PID: 1, Label: "SA:fas", After: true}
+	res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 3, Seed: 11, Plan: plan, RecordOps: true, CSOps: 4}, saFactory)
+	if res.CrashCount() != 1 {
+		t.Fatalf("%d crashes, want 1", res.CrashCount())
+	}
+	if res.MaxCSOverlap != 1 {
+		t.Fatalf("ME violated: overlap %d", res.MaxCSOverlap)
+	}
+	if got := len(res.Requests); got != 18 {
+		t.Fatalf("%d requests, want 18", got)
+	}
+	slow := 0
+	for _, ev := range res.Events {
+		if ev.Kind == sim.EvOp && ev.Op.Label == "SA:slow" {
+			slow++
+		}
+	}
+	if slow == 0 {
+		t.Fatal("no process took the slow path despite an unsafe failure")
+	}
+}
+
+func TestSALockCrashSweep(t *testing.T) {
+	// Strong recoverability: crash a process at each of a sweep of
+	// instruction offsets; ME and progress must survive.
+	for _, pid := range []int{0, 2} {
+		for at := int64(0); at < 80; at += 2 {
+			plan := &sim.CrashAtOp{PID: pid, OpIndex: at}
+			res := mustRun(t, sim.Config{N: 4, Model: memory.DSM, Requests: 2, Seed: 13, Plan: plan,
+				MaxSteps: 5_000_000}, saFactory)
+			if res.MaxCSOverlap != 1 {
+				t.Fatalf("pid=%d at=%d: ME violated", pid, at)
+			}
+			if got := len(res.Requests); got != 8 {
+				t.Fatalf("pid=%d at=%d: %d requests, want 8", pid, at, got)
+			}
+		}
+	}
+}
+
+func TestSALockRandomCrashes(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		plan := &sim.RandomFailures{Rate: 0.005, MaxTotal: 10, DuringPassage: true}
+		res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 3, Seed: seed, Plan: plan,
+			MaxSteps: 5_000_000}, saFactory)
+		if res.MaxCSOverlap != 1 {
+			t.Fatalf("seed=%d: ME violated with %d crashes", seed, res.CrashCount())
+		}
+		if got := len(res.Requests); got != 18 {
+			t.Fatalf("seed=%d: %d requests, want 18", seed, got)
+		}
+	}
+}
+
+func TestSALockCrashInCSReentry(t *testing.T) {
+	// BCSR (Theorem 5.3).
+	plan := sim.PlanFunc(func(ctx sim.StepCtx) bool {
+		return ctx.PID == 2 && ctx.InCS && ctx.ProcCrashes == 0
+	})
+	res := mustRun(t, sim.Config{N: 4, Model: memory.CC, Requests: 2, Seed: 3, Plan: plan}, saFactory)
+	crashSeq := res.Crashes[0].Seq
+	for _, ev := range res.Events {
+		if ev.Seq > crashSeq && ev.Kind == sim.EvCSEnter {
+			if ev.PID != 2 {
+				t.Fatalf("process %d entered CS before crashed holder re-entered", ev.PID)
+			}
+			break
+		}
+	}
+}
+
+func TestSALockAccessors(t *testing.T) {
+	a := memory.NewArena(memory.CC, 2)
+	l := NewSALock(a, 2, "X", grlock.NewTournament(a, 2), nil)
+	if l.Name() != "X" || l.SlowLabel() != "X:slow" {
+		t.Fatal("naming broken")
+	}
+	if l.Filter() == nil || l.Core() == nil || l.Splitter() == nil {
+		t.Fatal("component accessors broken")
+	}
+	if l.Describe() == "" {
+		t.Fatal("empty description")
+	}
+	l.Recover(a.Port(0, nil)) // no-op by construction
+}
+
+func TestSALockRequiresCore(t *testing.T) {
+	a := memory.NewArena(memory.CC, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil core")
+		}
+	}()
+	NewSALock(a, 1, "X", nil, nil)
+}

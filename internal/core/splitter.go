@@ -1,0 +1,42 @@
+package core
+
+import "rme/internal/memory"
+
+// Splitter is the biased O(1) path router of Section 5.1: of all processes
+// navigating it concurrently (which happens only after an unsafe failure
+// of the filter lock), exactly one occupies the fast path; the rest divert
+// to the slow path. It is a single word holding the occupant's identifier
+// (pid+1) or zero, updated with CAS — a strongly recoverable try-lock.
+type Splitter struct {
+	owner memory.Addr
+}
+
+// NewSplitter allocates a splitter in sp.
+func NewSplitter(sp memory.Space) *Splitter {
+	return &Splitter{owner: sp.Alloc(1, memory.HomeNone)}
+}
+
+// Try attempts to occupy the fast path (the CAS of Algorithm 3 line
+// "CAS(owner, 0, i)"). The caller decides success by a subsequent Mine —
+// the CAS outcome itself is deliberately unused so the step is idempotent
+// across failures.
+func (s *Splitter) Try(p memory.Port) {
+	p.CAS(s.owner, 0, memory.Word(p.PID()+1))
+}
+
+// Mine reports whether the calling process currently occupies the fast
+// path.
+func (s *Splitter) Mine(p memory.Port) bool {
+	return p.Read(s.owner) == memory.Word(p.PID()+1)
+}
+
+// Release frees the fast path ("owner := 0"). Only the occupant calls it.
+func (s *Splitter) Release(p memory.Port) {
+	p.Write(s.owner, 0)
+}
+
+// Occupant returns the pid currently on the fast path, or -1, from a
+// debug snapshot.
+func (s *Splitter) Occupant(pk Peeker) int {
+	return int(pk.Peek(s.owner)) - 1
+}

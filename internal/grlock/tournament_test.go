@@ -1,0 +1,135 @@
+package grlock
+
+import (
+	"testing"
+
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+func factory(sp memory.Space, n int) sim.Lock { return NewTournament(sp, n) }
+
+func mustRun(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	r, err := sim.New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTournamentShape(t *testing.T) {
+	tests := []struct {
+		n, nodes, height int
+	}{
+		{1, 0, 0},
+		{2, 1, 1},
+		{3, 2, 2},
+		{4, 3, 2},
+		{7, 6, 3},
+		{8, 7, 3},
+		{16, 15, 4},
+	}
+	a := memory.NewArena(memory.CC, 16)
+	for _, tt := range tests {
+		tr := NewTournament(a, tt.n)
+		if tr.Nodes() != tt.nodes {
+			t.Errorf("n=%d: nodes = %d, want %d", tt.n, tr.Nodes(), tt.nodes)
+		}
+		if tr.Height() != tt.height {
+			t.Errorf("n=%d: height = %d, want %d", tt.n, tr.Height(), tt.height)
+		}
+	}
+}
+
+func TestTournamentMutualExclusion(t *testing.T) {
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			res := mustRun(t, sim.Config{N: n, Model: model, Requests: 4, Seed: int64(n) * 3})
+			if res.MaxCSOverlap != 1 {
+				t.Fatalf("[%v n=%d] ME violated: overlap %d", model, n, res.MaxCSOverlap)
+			}
+			if got := len(res.Requests); got != 4*n {
+				t.Fatalf("[%v n=%d] %d requests, want %d", model, n, got, 4*n)
+			}
+		}
+	}
+}
+
+func TestTournamentLogarithmicRMRs(t *testing.T) {
+	// Non-adaptive: per-passage RMRs grow with log n. Verify the growth
+	// is roughly linear in the tree height (and nowhere near linear in n).
+	maxAt := func(n int) int64 {
+		res := mustRun(t, sim.Config{N: n, Model: memory.DSM, Requests: 3, Seed: 1})
+		return res.SummarizePassageRMRs(nil).Max
+	}
+	m2, m16 := maxAt(2), maxAt(16)
+	if m16 < m2 {
+		t.Fatalf("RMRs shrank with n: %d → %d", m2, m16)
+	}
+	// Height quadruples from 1 to 4; cost should scale like height, so
+	// allow up to ~6x, and far less than the 8x of linear-in-n growth
+	// would give over contended runs.
+	if m16 > 6*m2 {
+		t.Fatalf("growth 2→16 too steep for O(log n): %d → %d", m2, m16)
+	}
+}
+
+func TestTournamentCrashSweep(t *testing.T) {
+	// Crash a middle process at a sweep of instruction offsets; strong
+	// recoverability must preserve ME and progress every time.
+	for at := int64(0); at < 60; at += 3 {
+		plan := &sim.CrashAtOp{PID: 2, OpIndex: at}
+		res := mustRun(t, sim.Config{N: 5, Model: memory.CC, Requests: 2, Seed: 7, Plan: plan})
+		if res.MaxCSOverlap != 1 {
+			t.Fatalf("at=%d: ME violated: overlap %d", at, res.MaxCSOverlap)
+		}
+		if got := len(res.Requests); got != 10 {
+			t.Fatalf("at=%d: %d requests, want 10", at, got)
+		}
+	}
+}
+
+func TestTournamentRandomCrashes(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		plan := &sim.RandomFailures{Rate: 0.01, MaxTotal: 8, DuringPassage: true}
+		res := mustRun(t, sim.Config{N: 6, Model: memory.DSM, Requests: 3, Seed: seed, Plan: plan,
+			MaxSteps: 5_000_000})
+		if res.MaxCSOverlap != 1 {
+			t.Fatalf("seed=%d: ME violated with %d crashes", seed, res.CrashCount())
+		}
+		if got := len(res.Requests); got != 18 {
+			t.Fatalf("seed=%d: %d requests, want 18", seed, got)
+		}
+	}
+}
+
+func TestTournamentCrashInCS(t *testing.T) {
+	plan := sim.PlanFunc(func(ctx sim.StepCtx) bool {
+		return ctx.PID == 3 && ctx.InCS && ctx.ProcCrashes == 0
+	})
+	res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 2, Seed: 5, Plan: plan})
+	crashSeq := res.Crashes[0].Seq
+	for _, ev := range res.Events {
+		if ev.Seq > crashSeq && ev.Kind == sim.EvCSEnter {
+			if ev.PID != 3 {
+				t.Fatalf("process %d entered CS before crashed holder re-entered", ev.PID)
+			}
+			break
+		}
+	}
+}
+
+func TestTournamentValidation(t *testing.T) {
+	a := memory.NewArena(memory.CC, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewTournament(a, 0)
+}

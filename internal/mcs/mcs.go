@@ -1,0 +1,140 @@
+// Package mcs implements the classic Mellor-Crummey–Scott queue lock
+// (Section 4.1 of the paper) and its bounded-exit extension by Dvir and
+// Taubenfeld (Section 4.2) — the two *non-recoverable* locks the weakly
+// recoverable WR-Lock is built from.
+//
+// They exist as ablation baselines: comparing their per-passage RMRs with
+// WR-Lock and the framework locks measures the price of each added
+// property (bounded exit, weak recoverability, strong recoverability,
+// adaptivity). Neither tolerates failures — a crash while holding or
+// waiting deadlocks the queue — so the harness only runs them under
+// failure-free plans.
+package mcs
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+)
+
+const (
+	offLocked = 0
+	offNext   = 1
+	nodeWords = 2
+)
+
+// Lock is the original MCS queue lock. Each process owns one statically
+// allocated queue node, reused across acquisitions (safe without the
+// bounded-exit extension).
+type Lock struct {
+	tail memory.Addr
+	node []memory.Addr
+}
+
+// New allocates an MCS lock for n processes in sp.
+func New(sp memory.Space, n int) *Lock {
+	if n < 1 {
+		panic(fmt.Sprintf("mcs: New n = %d", n))
+	}
+	l := &Lock{tail: sp.Alloc(1, memory.HomeNone), node: make([]memory.Addr, n)}
+	for i := 0; i < n; i++ {
+		l.node[i] = sp.Alloc(nodeWords, i)
+	}
+	return l
+}
+
+// Recover is empty: the lock is not recoverable.
+func (l *Lock) Recover(p memory.Port) {}
+
+// Enter acquires the lock.
+func (l *Lock) Enter(p memory.Port) {
+	node := l.node[p.PID()]
+	p.Write(node+offNext, memory.FromAddr(memory.Nil))
+	p.Write(node+offLocked, memory.Bool(true))
+	p.Label("mcs:fas")
+	pred := memory.AsAddr(p.FAS(l.tail, memory.FromAddr(node)))
+	if pred == memory.Nil {
+		return
+	}
+	p.Write(pred+offNext, memory.FromAddr(node))
+	for memory.AsBool(p.Read(node + offLocked)) {
+		p.Pause()
+	}
+}
+
+// Exit releases the lock. The exit is not wait-free: if a successor has
+// appended but not yet linked, the leaving process spins until the link
+// appears.
+func (l *Lock) Exit(p memory.Port) {
+	node := l.node[p.PID()]
+	if p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil)) {
+		return
+	}
+	var nxt memory.Addr
+	for {
+		nxt = memory.AsAddr(p.Read(node + offNext))
+		if nxt != memory.Nil {
+			break
+		}
+		p.Pause()
+	}
+	p.Write(nxt+offLocked, memory.Bool(false))
+}
+
+// BoundedExit is the Dvir–Taubenfeld extension: links and the exit marker
+// are installed with CAS so that Exit completes in a bounded number of
+// steps, handing the lock to a late-linking successor wait-free. A node
+// cannot be reused immediately after release, so each acquisition draws a
+// fresh node from the space.
+type BoundedExit struct {
+	n    int
+	tail memory.Addr
+	mine []memory.Addr // per process: current node
+}
+
+// NewBoundedExit allocates a bounded-exit MCS lock for n processes in sp.
+func NewBoundedExit(sp memory.Space, n int) *BoundedExit {
+	if n < 1 {
+		panic(fmt.Sprintf("mcs: NewBoundedExit n = %d", n))
+	}
+	l := &BoundedExit{n: n, tail: sp.Alloc(1, memory.HomeNone), mine: make([]memory.Addr, n)}
+	for i := 0; i < n; i++ {
+		l.mine[i] = sp.Alloc(1, i)
+	}
+	return l
+}
+
+// Recover is empty: the lock is not recoverable.
+func (l *BoundedExit) Recover(p memory.Port) {}
+
+// Enter acquires the lock.
+func (l *BoundedExit) Enter(p memory.Port) {
+	i := p.PID()
+	node := p.Alloc(nodeWords, i)
+	p.Write(l.mine[i], memory.FromAddr(node))
+	p.Write(node+offNext, memory.FromAddr(memory.Nil))
+	p.Write(node+offLocked, memory.Bool(true))
+	p.Label("mcs-dt:fas")
+	pred := memory.AsAddr(p.FAS(l.tail, memory.FromAddr(node)))
+	if pred == memory.Nil {
+		return
+	}
+	p.CAS(pred+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node))
+	if memory.AsAddr(p.Read(pred+offNext)) == node {
+		for memory.AsBool(p.Read(node + offLocked)) {
+			p.Pause()
+		}
+	}
+	// Otherwise the predecessor stored its own address: it exited
+	// wait-free and the lock is ours.
+}
+
+// Exit releases the lock in a bounded number of steps.
+func (l *BoundedExit) Exit(p memory.Port) {
+	node := memory.AsAddr(p.Read(l.mine[p.PID()]))
+	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil))
+	p.CAS(node+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node))
+	if nxt := memory.AsAddr(p.Read(node + offNext)); nxt != node {
+		p.Write(nxt+offLocked, memory.Bool(false))
+	}
+}

@@ -1,0 +1,104 @@
+package mcs
+
+import (
+	"testing"
+
+	"rme/internal/check"
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+func plain(sp memory.Space, n int) sim.Lock   { return New(sp, n) }
+func bounded(sp memory.Space, n int) sim.Lock { return NewBoundedExit(sp, n) }
+
+func mustRun(t *testing.T, cfg sim.Config, f sim.Factory) *sim.Result {
+	t.Helper()
+	r, err := sim.New(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for name, f := range map[string]sim.Factory{"plain": plain, "bounded-exit": bounded} {
+		for _, model := range []memory.Model{memory.CC, memory.DSM} {
+			for _, n := range []int{1, 2, 4, 8} {
+				res := mustRun(t, sim.Config{N: n, Model: model, Requests: 5, Seed: int64(n)}, f)
+				if res.MaxCSOverlap != 1 {
+					t.Fatalf("[%s %v n=%d] ME violated", name, model, n)
+				}
+				if err := check.Satisfaction(res); err != nil {
+					t.Fatalf("[%s %v n=%d] %v", name, model, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFCFS(t *testing.T) {
+	res := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 3, Seed: 2, RecordOps: true}, plain)
+	if err := check.FCFS(res, "mcs:fas"); err != nil {
+		t.Fatal(err)
+	}
+	res2 := mustRun(t, sim.Config{N: 6, Model: memory.CC, Requests: 3, Seed: 2, RecordOps: true}, bounded)
+	if err := check.FCFS(res2, "mcs-dt:fas"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantRMRs(t *testing.T) {
+	for name, f := range map[string]sim.Factory{"plain": plain, "bounded-exit": bounded} {
+		for _, model := range []memory.Model{memory.CC, memory.DSM} {
+			var prev int64
+			for _, n := range []int{2, 8, 32} {
+				res := mustRun(t, sim.Config{N: n, Model: model, Requests: 5, Seed: 7}, f)
+				s := res.SummarizePassageRMRs(nil)
+				if s.Max > 16 {
+					t.Fatalf("[%s %v n=%d] max RMRs = %d, want O(1)", name, model, n, s.Max)
+				}
+				if prev != 0 && s.Max > prev+4 {
+					t.Fatalf("[%s %v] RMRs grew with n: %d → %d", name, model, prev, s.Max)
+				}
+				prev = s.Max
+			}
+		}
+	}
+}
+
+func TestBoundedExitIsBounded(t *testing.T) {
+	// With the DT extension, Exit performs a bounded number of
+	// instructions even when the successor has appended but not linked.
+	// The plain lock's exit spins in that situation; the bounded one
+	// must not. We verify the bounded variant's Exit op count directly.
+	a := memory.NewArena(memory.CC, 2)
+	l := NewBoundedExit(a, 2)
+	p := a.Port(0, nil)
+	l.Enter(p)
+	before := a.Ops(0)
+	l.Exit(p)
+	if got := a.Ops(0) - before; got > 6 {
+		t.Fatalf("bounded exit took %d ops", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := memory.NewArena(memory.CC, 1)
+	for name, f := range map[string]func(){
+		"plain":   func() { New(a, 0) },
+		"bounded": func() { NewBoundedExit(a, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

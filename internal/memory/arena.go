@@ -1,0 +1,251 @@
+package memory
+
+import "fmt"
+
+// Arena is the simulated shared memory. It is deterministic and not safe
+// for concurrent use: the simulation scheduler guarantees that at most one
+// process executes an instruction at a time (instructions are atomic in the
+// paper's model, so serializing them loses no behaviour — every interleaving
+// of atomic steps is reachable by scheduler choice).
+//
+// The arena counts RMRs exactly under the configured model and exposes the
+// counters per process so the harness can attribute cost to passages.
+type Arena struct {
+	model Model
+	n     int
+
+	words []Word
+	home  []int32
+	// cache[w] is a bitset over processes that hold word w validly cached
+	// (CC model only). cache[w] is nil until some process caches w.
+	cache [][]uint64
+
+	rmr []int64 // RMRs per process
+	ops []int64 // instructions per process
+
+	maskWords int // words per cache bitset
+}
+
+// NewArena returns a simulated shared memory for n processes under the
+// given model. The arena grows on demand; word 0 is reserved so that the
+// zero Addr acts as null.
+func NewArena(model Model, n int) *Arena {
+	if model != CC && model != DSM {
+		panic(fmt.Sprintf("memory: invalid model %d", model))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("memory: invalid process count %d", n))
+	}
+	a := &Arena{
+		model:     model,
+		n:         n,
+		words:     make([]Word, 1, 1024),
+		home:      make([]int32, 1, 1024),
+		cache:     make([][]uint64, 1, 1024),
+		rmr:       make([]int64, n),
+		ops:       make([]int64, n),
+		maskWords: (n + 63) / 64,
+	}
+	a.home[0] = HomeNone
+	return a
+}
+
+// Model returns the arena's memory model.
+func (a *Arena) Model() Model { return a.model }
+
+// N returns the number of processes.
+func (a *Arena) N() int { return a.n }
+
+// Alloc implements Space.
+func (a *Arena) Alloc(nwords int, home int) Addr {
+	if nwords <= 0 {
+		panic(fmt.Sprintf("memory: Alloc(%d)", nwords))
+	}
+	if home != HomeNone && (home < 0 || home >= a.n) {
+		panic(fmt.Sprintf("memory: Alloc home %d out of range [0,%d)", home, a.n))
+	}
+	base := Addr(len(a.words))
+	for i := 0; i < nwords; i++ {
+		a.words = append(a.words, 0)
+		a.home = append(a.home, int32(home))
+		a.cache = append(a.cache, nil)
+	}
+	return base
+}
+
+// Size returns the number of allocated words (including the reserved null
+// word).
+func (a *Arena) Size() int { return len(a.words) }
+
+// RMRs returns the cumulative RMR count charged to process pid.
+func (a *Arena) RMRs(pid int) int64 { return a.rmr[pid] }
+
+// Ops returns the cumulative instruction count of process pid.
+func (a *Arena) Ops(pid int) int64 { return a.ops[pid] }
+
+// TotalRMRs returns the cumulative RMR count over all processes.
+func (a *Arena) TotalRMRs() int64 {
+	var t int64
+	for _, v := range a.rmr {
+		t += v
+	}
+	return t
+}
+
+// InvalidateCache drops every cache line held by pid. The simulator calls
+// it when pid crashes: cache contents are private state and do not survive
+// a failure.
+func (a *Arena) InvalidateCache(pid int) {
+	if a.model != CC {
+		return
+	}
+	w, b := pid/64, uint(pid%64)
+	for _, set := range a.cache {
+		if set != nil {
+			set[w] &^= 1 << b
+		}
+	}
+}
+
+// Peek reads a word without charging an RMR or touching caches. It exists
+// for harnesses and debuggers (e.g. reconstructing the MCS sub-queues of
+// Figure 1) and must not be used by lock algorithms.
+func (a *Arena) Peek(addr Addr) Word {
+	a.check(addr)
+	return a.words[addr]
+}
+
+// Home returns the DSM home of addr (HomeNone if unowned).
+func (a *Arena) Home(addr Addr) int {
+	a.check(addr)
+	return int(a.home[addr])
+}
+
+func (a *Arena) check(addr Addr) {
+	if addr == Nil || int(addr) >= len(a.words) {
+		panic(fmt.Sprintf("memory: access to invalid address %d (arena size %d)", addr, len(a.words)))
+	}
+}
+
+// charge updates RMR accounting for one instruction of kind k by pid on
+// addr and reports whether the instruction was remote.
+func (a *Arena) charge(pid int, k OpKind, addr Addr) bool {
+	a.ops[pid]++
+	remote := false
+	switch a.model {
+	case DSM:
+		remote = int(a.home[addr]) != pid
+	case CC:
+		w, b := pid/64, uint(pid%64)
+		set := a.cache[addr]
+		switch k {
+		case OpRead:
+			// A read is local iff the word is validly cached.
+			if set == nil || set[w]&(1<<b) == 0 {
+				remote = true
+				if set == nil {
+					set = make([]uint64, a.maskWords)
+					a.cache[addr] = set
+				}
+				set[w] |= 1 << b
+			}
+		default:
+			// Writes and RMWs go to main memory and invalidate all
+			// other cached copies; the writer retains a valid copy.
+			remote = true
+			if set == nil {
+				set = make([]uint64, a.maskWords)
+				a.cache[addr] = set
+			}
+			for i := range set {
+				set[i] = 0
+			}
+			set[w] |= 1 << b
+		}
+	}
+	if remote {
+		a.rmr[pid]++
+	}
+	return remote
+}
+
+// Port returns process pid's port onto the arena. gate may be nil, in
+// which case instructions execute without scheduler interposition (useful
+// in unit tests).
+func (a *Arena) Port(pid int, gate Gate) *ArenaPort {
+	if pid < 0 || pid >= a.n {
+		panic(fmt.Sprintf("memory: pid %d out of range [0,%d)", pid, a.n))
+	}
+	return &ArenaPort{arena: a, pid: pid, gate: gate}
+}
+
+// ArenaPort is a process's view of an Arena.
+type ArenaPort struct {
+	arena *Arena
+	pid   int
+	gate  Gate
+	label string
+}
+
+var _ Port = (*ArenaPort)(nil)
+
+// PID implements Port.
+func (p *ArenaPort) PID() int { return p.pid }
+
+// N implements Port.
+func (p *ArenaPort) N() int { return p.arena.n }
+
+// Alloc implements Port.
+func (p *ArenaPort) Alloc(nwords int, home int) Addr { return p.arena.Alloc(nwords, home) }
+
+// Label implements Port.
+func (p *ArenaPort) Label(l string) { p.label = l }
+
+// Pause implements Port. The simulator serializes instructions, so there
+// is nothing to yield.
+func (p *ArenaPort) Pause() {}
+
+func (p *ArenaPort) step(k OpKind, addr Addr) {
+	p.arena.check(addr)
+	if p.gate != nil {
+		op := OpInfo{Kind: k, Addr: addr, Label: p.label}
+		p.label = ""
+		p.gate.Step(p.pid, op)
+	} else {
+		p.label = ""
+	}
+}
+
+// Read implements Port.
+func (p *ArenaPort) Read(a Addr) Word {
+	p.step(OpRead, a)
+	p.arena.charge(p.pid, OpRead, a)
+	return p.arena.words[a]
+}
+
+// Write implements Port.
+func (p *ArenaPort) Write(a Addr, v Word) {
+	p.step(OpWrite, a)
+	p.arena.charge(p.pid, OpWrite, a)
+	p.arena.words[a] = v
+}
+
+// FAS implements Port.
+func (p *ArenaPort) FAS(a Addr, v Word) Word {
+	p.step(OpFAS, a)
+	p.arena.charge(p.pid, OpFAS, a)
+	old := p.arena.words[a]
+	p.arena.words[a] = v
+	return old
+}
+
+// CAS implements Port.
+func (p *ArenaPort) CAS(a Addr, old, new Word) bool {
+	p.step(OpCAS, a)
+	p.arena.charge(p.pid, OpCAS, a)
+	if p.arena.words[a] != old {
+		return false
+	}
+	p.arena.words[a] = new
+	return true
+}

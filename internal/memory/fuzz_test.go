@@ -1,0 +1,87 @@
+package memory
+
+import "testing"
+
+// FuzzArenaOps feeds random instruction streams to the simulated arena and
+// checks the accounting invariants that every experiment relies on:
+// RMRs never exceed instructions, reads return the last written value, and
+// crash-induced cache invalidation never affects stored values.
+func FuzzArenaOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(2), false)
+	f.Add([]byte{9, 9, 9, 0, 0, 0}, uint8(1), true)
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(4), true)
+
+	f.Fuzz(func(t *testing.T, script []byte, nproc uint8, dsm bool) {
+		n := int(nproc%8) + 1
+		model := CC
+		if dsm {
+			model = DSM
+		}
+		a := NewArena(model, n)
+		const words = 8
+		base := a.Alloc(words, HomeNone)
+		local := make([]Addr, n)
+		ports := make([]*ArenaPort, n)
+		for i := 0; i < n; i++ {
+			local[i] = a.Alloc(1, i)
+			ports[i] = a.Port(i, nil)
+		}
+
+		// Shadow model of memory contents.
+		shadow := map[Addr]Word{}
+		read := func(p *ArenaPort, addr Addr) {
+			if got := p.Read(addr); got != shadow[addr] {
+				t.Fatalf("read %d = %d, shadow %d", addr, got, shadow[addr])
+			}
+		}
+
+		for k, b := range script {
+			pid := int(b) % n
+			p := ports[pid]
+			addr := base + Addr(int(b>>3)%words)
+			if b%16 == 0 {
+				addr = local[pid]
+			}
+			v := Word(k + 1)
+			switch (b >> 1) % 4 {
+			case 0:
+				read(p, addr)
+			case 1:
+				p.Write(addr, v)
+				shadow[addr] = v
+			case 2:
+				if old := p.FAS(addr, v); old != shadow[addr] {
+					t.Fatalf("FAS old = %d, shadow %d", old, shadow[addr])
+				}
+				shadow[addr] = v
+			case 3:
+				old := shadow[addr]
+				if ok := p.CAS(addr, old, v); !ok {
+					t.Fatalf("CAS with correct old failed")
+				}
+				shadow[addr] = v
+			}
+			if b%32 == 5 {
+				a.InvalidateCache(pid) // simulated crash: values unaffected
+			}
+		}
+		var totalOps int64
+		for i := 0; i < n; i++ {
+			if a.RMRs(i) > a.Ops(i) {
+				t.Fatalf("process %d: RMRs %d > ops %d", i, a.RMRs(i), a.Ops(i))
+			}
+			if a.RMRs(i) < 0 {
+				t.Fatalf("negative RMRs")
+			}
+			totalOps += a.Ops(i)
+		}
+		if totalOps != int64(len(script)) {
+			t.Fatalf("ops %d, want %d", totalOps, len(script))
+		}
+		for addr, want := range shadow {
+			if got := a.Peek(addr); got != want {
+				t.Fatalf("final Peek(%d) = %d, shadow %d", addr, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package memory provides the shared-memory substrate that every lock in
+// this repository is written against.
+//
+// The paper (Dhoked & Mittal, PODC 2020) analyzes recoverable mutual
+// exclusion algorithms on an asynchronous shared-memory multiprocessor in
+// which shared variables survive crashes (NVRAM) while private variables do
+// not, and measures cost in remote memory references (RMRs) under the two
+// standard models:
+//
+//   - Cache-coherent (CC): every process has a cache; a read costs an RMR
+//     only when the location is not validly cached, a write or RMW always
+//     costs an RMR and invalidates all other cached copies.
+//   - Distributed shared memory (DSM): every location lives in exactly one
+//     process's memory module; an operation costs an RMR iff the location
+//     is remote to the process performing it.
+//
+// Two interchangeable backends implement this substrate:
+//
+//   - Arena (arena.go): a deterministic simulated memory with exact RMR
+//     accounting and a step gate through which a scheduler can interleave
+//     processes and inject crashes at instruction boundaries.
+//   - NativeArena (native.go): a sync/atomic backed memory for running the
+//     same lock code under real goroutine concurrency.
+//
+// Lock algorithms see only the Port interface, so identical algorithm code
+// runs on both backends.
+package memory
+
+import "fmt"
+
+// Word is the unit of shared storage. Addresses, booleans, counters and
+// process identifiers are all encoded into words.
+type Word = uint64
+
+// Addr names one word of shared memory. The zero Addr is never allocated
+// and doubles as the null reference, mirroring the paper's use of "null".
+type Addr uint32
+
+// Nil is the null address. Reading or writing Nil is a programming error
+// and panics (a lock following the paper never dereferences null).
+const Nil Addr = 0
+
+// Model selects the RMR accounting model.
+type Model int
+
+// Supported memory models.
+const (
+	// CC is the cache-coherent model.
+	CC Model = iota + 1
+	// DSM is the distributed shared-memory model.
+	DSM
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case CC:
+		return "CC"
+	case DSM:
+		return "DSM"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// HomeNone marks a location that is remote to every process under the DSM
+// model (for example the queue tail pointer, which no process owns).
+const HomeNone = -1
+
+// OpKind identifies the kind of a shared-memory instruction.
+type OpKind uint8
+
+// Shared-memory instruction kinds. These are exactly the instructions the
+// paper assumes the hardware provides (Section 2.6).
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpFAS
+	OpCAS
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFAS:
+		return "FAS"
+	case OpCAS:
+		return "CAS"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// OpInfo describes one shared-memory instruction about to be executed by a
+// process. Schedulers receive it at the step gate and failure plans match
+// on the Label to target sensitive instructions (Definition 3.3).
+type OpInfo struct {
+	Kind  OpKind
+	Addr  Addr
+	Label string
+}
+
+// Gate is the hook a scheduler installs on a simulated port. Step is called
+// on the process's goroutine immediately before each shared-memory
+// instruction; it may block (to serialize the simulation) and may panic
+// with a crash sentinel to make the process fail at this exact boundary.
+type Gate interface {
+	Step(pid int, op OpInfo)
+}
+
+// Space allocates shared memory. home is the owning process under the DSM
+// model (or HomeNone); it is ignored under CC accounting but recorded so
+// the same layout works under both models.
+type Space interface {
+	// Alloc reserves nwords consecutive words, zero initialized, and
+	// returns the address of the first.
+	Alloc(nwords int, home int) Addr
+}
+
+// Port is one process's view of shared memory. All lock algorithms in this
+// repository are written against Port so that they run unchanged on the
+// simulator and on the native backend.
+//
+// A Port is bound to a single process and must only be used from that
+// process's goroutine.
+type Port interface {
+	Space
+
+	// PID returns the identifier of the process bound to this port,
+	// in [0, N).
+	PID() int
+	// N returns the number of processes sharing the memory.
+	N() int
+
+	// Read returns the current contents of a.
+	Read(a Addr) Word
+	// Write stores v into a.
+	Write(a Addr, v Word)
+	// FAS atomically stores v into a and returns the previous contents
+	// (fetch-and-store, Section 2.6).
+	FAS(a Addr, v Word) Word
+	// CAS atomically compares the contents of a with old and, if equal,
+	// stores new. It reports whether the store happened (Section 2.6).
+	CAS(a Addr, old, new Word) bool
+
+	// Label tags the next instruction issued through this port. Labels
+	// let failure plans crash a process at a specific instruction, e.g.
+	// the sensitive FAS of the weakly recoverable lock.
+	Label(l string)
+
+	// Pause is a hint inserted in busy-wait loops. The native backend
+	// yields the processor; the simulator treats it as a no-op because
+	// every instruction already passes through the scheduler.
+	Pause()
+}
+
+// Bool encodes a boolean into a word.
+func Bool(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// AsBool decodes a word written by Bool.
+func AsBool(w Word) bool { return w != 0 }
+
+// FromAddr encodes an address into a word so references can be stored in
+// shared memory.
+func FromAddr(a Addr) Word { return Word(a) }
+
+// AsAddr decodes a word written by FromAddr.
+func AsAddr(w Word) Addr { return Addr(w) }

@@ -1,0 +1,176 @@
+package memory
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// NativeArena is the sync/atomic backed shared memory. It runs the same
+// lock algorithms as Arena but under real goroutine concurrency, standing
+// in for NVRAM: its contents survive simulated process crashes (a crashed
+// worker abandons its private state and later re-runs Recover against the
+// untouched arena).
+//
+// The arena is a fixed-capacity array of atomic words with a bump
+// allocator; all operations on allocated words are safe for concurrent use.
+// RMR accounting is not available on this backend (real cache behaviour is
+// up to the hardware) — use Arena for RMR experiments.
+type NativeArena struct {
+	n     int
+	words []atomic.Uint64
+	next  atomic.Int64
+}
+
+// NewNativeArena returns a native arena for n processes with capacity for
+// the given number of words. Word 0 is reserved as null.
+func NewNativeArena(n, capacity int) *NativeArena {
+	if n <= 0 {
+		panic(fmt.Sprintf("memory: invalid process count %d", n))
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	a := &NativeArena{n: n, words: make([]atomic.Uint64, capacity)}
+	a.next.Store(1) // reserve null
+	return a
+}
+
+// N returns the number of processes.
+func (a *NativeArena) N() int { return a.n }
+
+// Alloc implements Space. home is accepted for layout compatibility with
+// the simulated arena and otherwise ignored.
+func (a *NativeArena) Alloc(nwords int, home int) Addr {
+	if nwords <= 0 {
+		panic(fmt.Sprintf("memory: Alloc(%d)", nwords))
+	}
+	_ = home
+	base := a.next.Add(int64(nwords)) - int64(nwords)
+	if base+int64(nwords) > int64(len(a.words)) {
+		panic(fmt.Sprintf("memory: native arena exhausted (capacity %d words); size it with rme.WithCapacity", len(a.words)))
+	}
+	return Addr(base)
+}
+
+// Size returns the number of words allocated so far.
+func (a *NativeArena) Size() int { return int(a.next.Load()) }
+
+// Peek reads a word without synchronizing with concurrent writers beyond
+// the atomicity of the load. Debug use only.
+func (a *NativeArena) Peek(addr Addr) Word { return a.words[addr].Load() }
+
+// FailFunc decides whether the process should crash immediately before the
+// instruction it is about to execute. It is the native counterpart of the
+// simulator's failure plans and is called on the process's goroutine.
+type FailFunc func(pid int, op OpInfo) bool
+
+// ErrCrash is the sentinel panic value used to unwind a native process when
+// a fail point fires. Harnesses recover it at the passage boundary.
+type ErrCrash struct {
+	PID int
+	Op  OpInfo
+}
+
+// Error implements error.
+func (e ErrCrash) Error() string {
+	return fmt.Sprintf("process %d crashed at %s %d", e.PID, e.Op.Kind, e.Op.Addr)
+}
+
+// Port returns process pid's port onto the native arena. fail may be nil.
+// The port must be used by one goroutine at a time (the goroutine currently
+// impersonating process pid).
+func (a *NativeArena) Port(pid int, fail FailFunc) *NativePort {
+	if pid < 0 || pid >= a.n {
+		panic(fmt.Sprintf("memory: pid %d out of range [0,%d)", pid, a.n))
+	}
+	return &NativePort{arena: a, pid: pid, fail: fail}
+}
+
+// NativePort is a process's view of a NativeArena.
+type NativePort struct {
+	arena *NativeArena
+	pid   int
+	fail  FailFunc
+	label string
+}
+
+var _ Port = (*NativePort)(nil)
+
+// PID implements Port.
+func (p *NativePort) PID() int { return p.pid }
+
+// N implements Port.
+func (p *NativePort) N() int { return p.arena.n }
+
+// Alloc implements Port.
+func (p *NativePort) Alloc(nwords int, home int) Addr { return p.arena.Alloc(nwords, home) }
+
+// Label implements Port.
+func (p *NativePort) Label(l string) { p.label = l }
+
+// Pause implements Port. Busy-wait loops yield so that spinners make
+// progress even on GOMAXPROCS=1.
+func (p *NativePort) Pause() { runtime.Gosched() }
+
+func (p *NativePort) step(k OpKind, addr Addr) {
+	if addr == Nil || int64(addr) >= p.arena.next.Load() {
+		panic(fmt.Sprintf("memory: access to invalid address %d", addr))
+	}
+	label := p.label
+	p.label = ""
+	if p.fail != nil {
+		op := OpInfo{Kind: k, Addr: addr, Label: label}
+		if p.fail(p.pid, op) {
+			panic(ErrCrash{PID: p.pid, Op: op})
+		}
+	}
+}
+
+// Read implements Port.
+func (p *NativePort) Read(a Addr) Word {
+	p.step(OpRead, a)
+	return p.arena.words[a].Load()
+}
+
+// Write implements Port.
+func (p *NativePort) Write(a Addr, v Word) {
+	p.step(OpWrite, a)
+	p.arena.words[a].Store(v)
+}
+
+// FAS implements Port.
+func (p *NativePort) FAS(a Addr, v Word) Word {
+	p.step(OpFAS, a)
+	return p.arena.words[a].Swap(v)
+}
+
+// CAS implements Port.
+func (p *NativePort) CAS(a Addr, old, new Word) bool {
+	p.step(OpCAS, a)
+	return p.arena.words[a].CompareAndSwap(old, new)
+}
+
+// Words returns an atomic-per-word copy of the allocated arena contents
+// (index 0 is the reserved null word). Used for NVRAM-style snapshots.
+func (a *NativeArena) Words() []Word {
+	size := a.next.Load()
+	out := make([]Word, size)
+	for i := int64(1); i < size; i++ {
+		out[i] = a.words[i].Load()
+	}
+	return out
+}
+
+// SetWords overwrites the allocated arena contents from a snapshot taken
+// by Words on an identically laid-out arena. It fails if the snapshot does
+// not match the arena's allocation size.
+func (a *NativeArena) SetWords(ws []Word) error {
+	if int64(len(ws)) != a.next.Load() {
+		return fmt.Errorf("memory: snapshot has %d words, arena has %d allocated", len(ws), a.next.Load())
+	}
+	for i := 1; i < len(ws); i++ {
+		a.words[i].Store(ws[i])
+	}
+	return nil
+}

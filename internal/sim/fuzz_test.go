@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rme/internal/memory"
+)
+
+// FuzzRunnerDeterminism drives the simulator with fuzzed configurations and
+// failure placements, asserting the two properties everything else builds
+// on: identical seeds replay identical histories, and the execution model's
+// bookkeeping (request/passage/crash counts) stays consistent.
+func FuzzRunnerDeterminism(f *testing.F) {
+	f.Add(uint8(3), int64(1), uint8(2), uint8(10), false)
+	f.Add(uint8(1), int64(7), uint8(1), uint8(0), true)
+	f.Add(uint8(6), int64(42), uint8(3), uint8(33), true)
+
+	f.Fuzz(func(t *testing.T, nproc uint8, seed int64, reqs uint8, crashAt uint8, dsm bool) {
+		n := int(nproc%6) + 1
+		requests := int(reqs%3) + 1
+		model := memory.CC
+		if dsm {
+			model = memory.DSM
+		}
+		mk := func() *Result {
+			var plan FailurePlan
+			if crashAt > 0 {
+				plan = &CrashAtOp{PID: int(crashAt) % n, OpIndex: int64(crashAt % 40)}
+			}
+			r, err := New(Config{N: n, Model: model, Requests: requests, Seed: seed,
+				Plan: plan, RecordOps: true, MaxSteps: 2_000_000}, newTAS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := mk(), mk()
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatal("same configuration replayed differently")
+		}
+		if len(a.Requests) != n*requests {
+			t.Fatalf("%d requests satisfied, want %d", len(a.Requests), n*requests)
+		}
+		// Passages = requests + one failed passage per crash.
+		if len(a.Passages) != len(a.Requests)+len(a.Crashes) {
+			t.Fatalf("passages %d ≠ requests %d + crashes %d",
+				len(a.Passages), len(a.Requests), len(a.Crashes))
+		}
+		for _, p := range a.Passages {
+			if p.RMRs < 0 || p.Ops < p.RMRs || p.EndSeq < p.StartSeq {
+				t.Fatalf("inconsistent passage %+v", p)
+			}
+		}
+	})
+}

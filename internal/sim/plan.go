@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"math/rand"
+
+	"rme/internal/memory"
+)
+
+// StepCtx describes the rendezvous a process is parked at, just before the
+// scheduler grants it. Failure plans inspect it to decide whether the
+// process crashes here instead of executing the step.
+type StepCtx struct {
+	// PID is the parked process.
+	PID int
+	// Seq is the global logical time of this grant.
+	Seq int64
+	// IsOp reports whether the process is about to execute a
+	// shared-memory instruction (Op valid) rather than a lifecycle
+	// boundary (Ev valid).
+	IsOp bool
+	// Op is the pending instruction when IsOp.
+	Op memory.OpInfo
+	// Ev is the pending lifecycle event when !IsOp.
+	Ev EventKind
+	// OpIndex is the number of instructions the process has executed so
+	// far in the run.
+	OpIndex int64
+	// Request and Attempt identify the process's current request and the
+	// passage attempt within it.
+	Request int
+	Attempt int
+	// InPassage reports whether the process is between passage start and
+	// passage end (i.e. not in NCS).
+	InPassage bool
+	// InCS reports whether the process is currently inside its critical
+	// section.
+	InCS bool
+	// Crashes is the total number of failures injected so far in the
+	// run; ProcCrashes counts only this process's failures.
+	Crashes     int
+	ProcCrashes int
+	// Rand is the run's seeded random source, shared with the scheduler.
+	Rand *rand.Rand
+}
+
+// FailurePlan decides where failures occur. Crash is consulted once per
+// grant; returning true makes the process fail at this exact boundary
+// (before executing the pending step). Observe is invoked after a step is
+// granted and will be executed, letting stateful plans trigger on "the
+// rendezvous after" some instruction — which is how a crash "immediately
+// after" the sensitive FAS (Definition 3.4) is expressed.
+//
+// Plans may be stateful; use a fresh value per run.
+type FailurePlan interface {
+	Crash(ctx StepCtx) bool
+	Observe(ctx StepCtx)
+}
+
+// NoFailures injects no failures.
+type NoFailures struct{}
+
+// Crash implements FailurePlan.
+func (NoFailures) Crash(StepCtx) bool { return false }
+
+// Observe implements FailurePlan.
+func (NoFailures) Observe(StepCtx) {}
+
+// CrashAtOp crashes process PID immediately before its OpIndex-th
+// instruction (counting from zero), exactly once.
+type CrashAtOp struct {
+	PID     int
+	OpIndex int64
+	done    bool
+}
+
+// Crash implements FailurePlan.
+func (p *CrashAtOp) Crash(ctx StepCtx) bool {
+	if p.done || ctx.PID != p.PID || !ctx.IsOp || ctx.OpIndex != p.OpIndex {
+		return false
+	}
+	p.done = true
+	return true
+}
+
+// Observe implements FailurePlan.
+func (p *CrashAtOp) Observe(StepCtx) {}
+
+// CrashOnLabel crashes process PID at the Occurrence-th (from zero)
+// instruction carrying Label. With After set, the crash is deferred to the
+// process's next rendezvous, i.e. the process fails immediately after
+// executing the labeled instruction — the paper's unsafe-failure scenario
+// for the sensitive FAS on the queue tail.
+type CrashOnLabel struct {
+	PID        int
+	Label      string
+	Occurrence int
+	After      bool
+
+	seen    int
+	pending bool
+	done    bool
+}
+
+// Crash implements FailurePlan.
+func (p *CrashOnLabel) Crash(ctx StepCtx) bool {
+	if p.done || ctx.PID != p.PID {
+		return false
+	}
+	if p.pending {
+		p.pending = false
+		p.done = true
+		return true
+	}
+	if p.After || !ctx.IsOp || ctx.Op.Label != p.Label {
+		return false
+	}
+	if p.seen < p.Occurrence {
+		return false
+	}
+	p.done = true
+	return true
+}
+
+// Observe implements FailurePlan.
+func (p *CrashOnLabel) Observe(ctx StepCtx) {
+	if p.done || p.pending || ctx.PID != p.PID || !ctx.IsOp || ctx.Op.Label != p.Label {
+		return
+	}
+	if p.seen < p.Occurrence {
+		p.seen++
+		return
+	}
+	if p.After {
+		p.pending = true
+	}
+}
+
+// RandomFailures crashes processes at instruction boundaries with
+// probability Rate per instruction, subject to the optional caps. With
+// DuringPassage set (the common case for the paper's experiments) crashes
+// occur only between passage start and passage end, never in NCS.
+type RandomFailures struct {
+	Rate          float64
+	MaxTotal      int // 0 means unlimited
+	MaxPerProcess int // 0 means unlimited
+	DuringPassage bool
+}
+
+// Crash implements FailurePlan.
+func (p *RandomFailures) Crash(ctx StepCtx) bool {
+	if !ctx.IsOp {
+		return false
+	}
+	if p.MaxTotal > 0 && ctx.Crashes >= p.MaxTotal {
+		return false
+	}
+	if p.MaxPerProcess > 0 && ctx.ProcCrashes >= p.MaxPerProcess {
+		return false
+	}
+	if p.DuringPassage && !ctx.InPassage {
+		return false
+	}
+	return ctx.Rand.Float64() < p.Rate
+}
+
+// Observe implements FailurePlan.
+func (p *RandomFailures) Observe(StepCtx) {}
+
+// FailureBudget crashes processes uniformly at random instruction
+// boundaries until exactly Total failures have been injected. It is the
+// plan used for "F failures in the recent past" sweeps: the expected
+// spacing is controlled by Rate, and injection stops once the budget is
+// spent, after which the system quiesces.
+type FailureBudget struct {
+	Total int
+	Rate  float64
+}
+
+// Crash implements FailurePlan.
+func (p *FailureBudget) Crash(ctx StepCtx) bool {
+	if !ctx.IsOp || ctx.Crashes >= p.Total {
+		return false
+	}
+	rate := p.Rate
+	if rate == 0 {
+		rate = 0.01
+	}
+	return ctx.Rand.Float64() < rate
+}
+
+// Observe implements FailurePlan.
+func (p *FailureBudget) Observe(StepCtx) {}
+
+// BatchCrash injects a batch failure (Section 7.1): once the global time
+// reaches AtSeq, every process in PIDs crashes at its next rendezvous.
+// Each process crashes once.
+type BatchCrash struct {
+	AtSeq int64
+	PIDs  []int
+
+	crashed map[int]bool
+}
+
+// Crash implements FailurePlan.
+func (p *BatchCrash) Crash(ctx StepCtx) bool {
+	if ctx.Seq < p.AtSeq || !ctx.IsOp {
+		return false
+	}
+	if p.crashed == nil {
+		p.crashed = make(map[int]bool, len(p.PIDs))
+	}
+	if p.crashed[ctx.PID] {
+		return false
+	}
+	for _, pid := range p.PIDs {
+		if pid == ctx.PID {
+			p.crashed[ctx.PID] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Observe implements FailurePlan.
+func (p *BatchCrash) Observe(StepCtx) {}
+
+// PlanSeq composes failure plans: a step crashes if any component plan
+// says so, and every component observes every granted step.
+type PlanSeq []FailurePlan
+
+// Crash implements FailurePlan.
+func (ps PlanSeq) Crash(ctx StepCtx) bool {
+	for _, p := range ps {
+		if p.Crash(ctx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Observe implements FailurePlan.
+func (ps PlanSeq) Observe(ctx StepCtx) {
+	for _, p := range ps {
+		p.Observe(ctx)
+	}
+}
+
+// PlanFunc adapts a function to a stateless FailurePlan.
+type PlanFunc func(ctx StepCtx) bool
+
+// Crash implements FailurePlan.
+func (f PlanFunc) Crash(ctx StepCtx) bool { return f(ctx) }
+
+// Observe implements FailurePlan.
+func (PlanFunc) Observe(StepCtx) {}
+
+// UnsafeBudget injects exactly Total failures, each immediately after an
+// instruction whose label satisfies Match — by default any weakly
+// recoverable filter's sensitive FAS (a label ending in ":fas"). These are
+// the paper's unsafe failures (Definition 3.4), the adversary that drives
+// queue fragmentation and level escalation; random placement almost never
+// hits the one-instruction sensitive window.
+type UnsafeBudget struct {
+	Total int
+	// Match selects the sensitive instructions; nil matches any label
+	// with the ":fas" suffix.
+	Match func(label string) bool
+	// MaxPerProcess caps failures per process (0 = unlimited).
+	MaxPerProcess int
+	// Rate is the probability of striking each matching instruction
+	// (default 1). Rates below 1 spread the failures across the run —
+	// striking every early FAS tends to hit queue heads, whose failures
+	// are harmless.
+	Rate float64
+
+	pending   map[int]bool
+	scheduled int
+}
+
+// Crash implements FailurePlan.
+func (p *UnsafeBudget) Crash(ctx StepCtx) bool {
+	if p.pending[ctx.PID] {
+		delete(p.pending, ctx.PID)
+		return true
+	}
+	return false
+}
+
+// Observe implements FailurePlan.
+func (p *UnsafeBudget) Observe(ctx StepCtx) {
+	if !ctx.IsOp || p.scheduled >= p.Total || p.pending[ctx.PID] {
+		return
+	}
+	if p.MaxPerProcess > 0 && ctx.ProcCrashes >= p.MaxPerProcess {
+		return
+	}
+	match := p.Match
+	if match == nil {
+		match = func(l string) bool {
+			return len(l) > 4 && l[len(l)-4:] == ":fas"
+		}
+	}
+	if !match(ctx.Op.Label) {
+		return
+	}
+	if p.Rate > 0 && p.Rate < 1 && ctx.Rand.Float64() >= p.Rate {
+		return
+	}
+	if p.pending == nil {
+		p.pending = make(map[int]bool)
+	}
+	p.pending[ctx.PID] = true
+	p.scheduled++
+}

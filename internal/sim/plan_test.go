@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rme/internal/memory"
+)
+
+func opCtx(pid int, idx int64, label string) StepCtx {
+	return StepCtx{
+		PID:     pid,
+		IsOp:    true,
+		Op:      memory.OpInfo{Kind: memory.OpFAS, Label: label},
+		OpIndex: idx,
+		Rand:    rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestNoFailures(t *testing.T) {
+	var p NoFailures
+	if p.Crash(opCtx(0, 0, "")) {
+		t.Fatal("NoFailures crashed")
+	}
+	p.Observe(opCtx(0, 0, ""))
+}
+
+func TestCrashAtOpPlan(t *testing.T) {
+	p := &CrashAtOp{PID: 1, OpIndex: 3}
+	if p.Crash(opCtx(0, 3, "")) {
+		t.Fatal("wrong pid crashed")
+	}
+	if p.Crash(opCtx(1, 2, "")) {
+		t.Fatal("wrong index crashed")
+	}
+	if !p.Crash(opCtx(1, 3, "")) {
+		t.Fatal("did not crash at target")
+	}
+	if p.Crash(opCtx(1, 3, "")) {
+		t.Fatal("crashed twice")
+	}
+	ctx := opCtx(1, 3, "")
+	ctx.IsOp = false
+	p2 := &CrashAtOp{PID: 1, OpIndex: 3}
+	if p2.Crash(ctx) {
+		t.Fatal("crashed at lifecycle rendezvous")
+	}
+}
+
+func TestCrashOnLabelBefore(t *testing.T) {
+	p := &CrashOnLabel{PID: 0, Label: "fas:tail", Occurrence: 1}
+	// First occurrence: not yet (Occurrence is 1, counting from zero).
+	if p.Crash(opCtx(0, 0, "fas:tail")) {
+		t.Fatal("crashed at occurrence 0")
+	}
+	p.Observe(opCtx(0, 0, "fas:tail"))
+	if p.Crash(opCtx(0, 1, "other")) {
+		t.Fatal("crashed on wrong label")
+	}
+	if !p.Crash(opCtx(0, 2, "fas:tail")) {
+		t.Fatal("did not crash at occurrence 1")
+	}
+	if p.Crash(opCtx(0, 3, "fas:tail")) {
+		t.Fatal("crashed twice")
+	}
+}
+
+func TestCrashOnLabelAfter(t *testing.T) {
+	p := &CrashOnLabel{PID: 2, Label: "fas:tail", After: true}
+	if p.Crash(opCtx(2, 0, "fas:tail")) {
+		t.Fatal("After plan crashed before the labeled op")
+	}
+	p.Observe(opCtx(2, 0, "fas:tail")) // labeled op executes
+	// The next rendezvous of pid 2, whatever it is, crashes.
+	if p.Crash(opCtx(1, 1, "")) {
+		t.Fatal("wrong pid crashed")
+	}
+	if !p.Crash(opCtx(2, 1, "unrelated")) {
+		t.Fatal("did not crash immediately after labeled op")
+	}
+	if p.Crash(opCtx(2, 2, "fas:tail")) {
+		t.Fatal("crashed twice")
+	}
+}
+
+func TestRandomFailuresCaps(t *testing.T) {
+	p := &RandomFailures{Rate: 1.0, MaxTotal: 2}
+	ctx := opCtx(0, 0, "")
+	ctx.InPassage = true
+	if !p.Crash(ctx) {
+		t.Fatal("rate-1.0 plan did not crash")
+	}
+	ctx.Crashes = 2
+	if p.Crash(ctx) {
+		t.Fatal("MaxTotal not honored")
+	}
+	p2 := &RandomFailures{Rate: 1.0, MaxPerProcess: 1}
+	ctx2 := opCtx(0, 0, "")
+	ctx2.ProcCrashes = 1
+	if p2.Crash(ctx2) {
+		t.Fatal("MaxPerProcess not honored")
+	}
+	p3 := &RandomFailures{Rate: 1.0, DuringPassage: true}
+	ctx3 := opCtx(0, 0, "")
+	ctx3.InPassage = false
+	if p3.Crash(ctx3) {
+		t.Fatal("DuringPassage not honored")
+	}
+}
+
+func TestFailureBudget(t *testing.T) {
+	p := &FailureBudget{Total: 3, Rate: 1.0}
+	ctx := opCtx(0, 0, "")
+	for i := 0; i < 3; i++ {
+		ctx.Crashes = i
+		if !p.Crash(ctx) {
+			t.Fatalf("budget crash %d refused", i)
+		}
+	}
+	ctx.Crashes = 3
+	if p.Crash(ctx) {
+		t.Fatal("budget exceeded")
+	}
+	// Default rate kicks in when Rate is zero.
+	p2 := &FailureBudget{Total: 1}
+	rng := rand.New(rand.NewSource(7))
+	found := false
+	for i := 0; i < 10000 && !found; i++ {
+		c := opCtx(0, int64(i), "")
+		c.Rand = rng
+		found = p2.Crash(c)
+	}
+	if !found {
+		t.Fatal("default-rate budget never crashed in 10000 steps")
+	}
+}
+
+func TestBatchCrash(t *testing.T) {
+	p := &BatchCrash{AtSeq: 100, PIDs: []int{0, 2}}
+	early := opCtx(0, 0, "")
+	early.Seq = 50
+	if p.Crash(early) {
+		t.Fatal("batch fired early")
+	}
+	late := opCtx(0, 0, "")
+	late.Seq = 100
+	if !p.Crash(late) {
+		t.Fatal("batch did not fire for pid 0")
+	}
+	if p.Crash(late) {
+		t.Fatal("pid 0 crashed twice")
+	}
+	other := opCtx(1, 0, "")
+	other.Seq = 120
+	if p.Crash(other) {
+		t.Fatal("pid outside batch crashed")
+	}
+	two := opCtx(2, 0, "")
+	two.Seq = 120
+	if !p.Crash(two) {
+		t.Fatal("batch did not fire for pid 2")
+	}
+}
+
+func TestPlanSeq(t *testing.T) {
+	a := &CrashAtOp{PID: 0, OpIndex: 0}
+	b := &CrashAtOp{PID: 1, OpIndex: 0}
+	seq := PlanSeq{a, b}
+	if !seq.Crash(opCtx(0, 0, "")) {
+		t.Fatal("component a did not fire")
+	}
+	if !seq.Crash(opCtx(1, 0, "")) {
+		t.Fatal("component b did not fire")
+	}
+	if seq.Crash(opCtx(2, 0, "")) {
+		t.Fatal("seq crashed spuriously")
+	}
+	seq.Observe(opCtx(2, 0, ""))
+}
+
+func TestBatchCrashInRun(t *testing.T) {
+	// A batch failure of processes {0,1} mid-run; every request must
+	// still be satisfied afterwards.
+	plan := &BatchCrash{AtSeq: 30, PIDs: []int{0, 1}}
+	res := run(t, Config{N: 3, Model: memory.CC, Requests: 3, Seed: 13, Plan: plan}, newTAS)
+	if res.CrashCount() != 2 {
+		t.Fatalf("%d crashes, want 2", res.CrashCount())
+	}
+	if got := len(res.Requests); got != 9 {
+		t.Fatalf("%d requests satisfied, want 9", got)
+	}
+}
+
+func TestUnsafeBudget(t *testing.T) {
+	p := &UnsafeBudget{Total: 2}
+	rng := rand.New(rand.NewSource(1))
+	fas := opCtx(0, 0, "F1:fas")
+	fas.Rand = rng
+	if p.Crash(fas) {
+		t.Fatal("crashed before observing a sensitive instruction")
+	}
+	p.Observe(fas) // the FAS executes; a crash is now pending for pid 0
+	other := opCtx(1, 0, "")
+	other.Rand = rng
+	if p.Crash(other) {
+		t.Fatal("wrong pid crashed")
+	}
+	next := opCtx(0, 1, "anything")
+	next.Rand = rng
+	if !p.Crash(next) {
+		t.Fatal("did not crash immediately after the sensitive FAS")
+	}
+	if p.Crash(next) {
+		t.Fatal("pending crash fired twice")
+	}
+	// Non-matching labels never schedule a crash.
+	rd := opCtx(2, 0, "not-a-fas")
+	rd.Rand = rng
+	p.Observe(rd)
+	if p.Crash(opCtx(2, 1, "")) {
+		t.Fatal("crashed after a non-sensitive instruction")
+	}
+	// Budget: one strike left.
+	fas2 := opCtx(3, 0, "F2:fas")
+	fas2.Rand = rng
+	p.Observe(fas2)
+	if !p.Crash(opCtx(3, 1, "")) {
+		t.Fatal("second budgeted crash missing")
+	}
+	fas3 := opCtx(4, 0, "F1:fas")
+	fas3.Rand = rng
+	p.Observe(fas3)
+	if p.Crash(opCtx(4, 1, "")) {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestUnsafeBudgetPerProcessCap(t *testing.T) {
+	p := &UnsafeBudget{Total: 5, MaxPerProcess: 1}
+	rng := rand.New(rand.NewSource(1))
+	fas := opCtx(0, 0, "F1:fas")
+	fas.Rand = rng
+	fas.ProcCrashes = 1 // pid 0 already crashed once
+	p.Observe(fas)
+	if p.Crash(opCtx(0, 1, "")) {
+		t.Fatal("per-process cap ignored")
+	}
+}
+
+func TestUnsafeBudgetRate(t *testing.T) {
+	// With a tiny rate most observations are skipped; with rate 1 none.
+	rng := rand.New(rand.NewSource(7))
+	low := &UnsafeBudget{Total: 1000, Rate: 0.01}
+	scheduled := 0
+	for i := 0; i < 1000; i++ {
+		ctx := opCtx(i%8, int64(i), "F1:fas")
+		ctx.Rand = rng
+		low.Observe(ctx)
+		nxt := opCtx(i%8, int64(i)+1, "")
+		nxt.Rand = rng
+		if low.Crash(nxt) {
+			scheduled++
+		}
+	}
+	if scheduled == 0 || scheduled > 100 {
+		t.Fatalf("rate 0.01 scheduled %d strikes over 1000 ops", scheduled)
+	}
+}

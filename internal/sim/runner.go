@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rme/internal/memory"
+)
+
+type parkKind uint8
+
+const (
+	parkOp parkKind = iota + 1
+	parkEvent
+	parkDone
+)
+
+type park struct {
+	pid  int
+	kind parkKind
+	op   memory.OpInfo
+	ev   EventKind
+}
+
+type action uint8
+
+const (
+	actRun action = iota + 1
+	actCrash
+	actAbort
+)
+
+type crashSignal struct{}
+type abortSignal struct{}
+
+// procState is the scheduler-side view of one process.
+type procState struct {
+	request     int // current request index, -1 before the first
+	attempt     int // passage attempt within the current request
+	inPassage   bool
+	inCS        bool
+	opIndex     int64
+	crashes     int
+	reqGenSeq   int64
+	reqRMRs     int64
+	reqPassages int
+	reqCrashes  int
+	passStart   int64 // seq of current passage start
+	rmrMark     int64 // arena RMR counter at passage start
+	opsMark     int64 // arena op counter at passage start
+}
+
+// Runner executes one simulation. Create it with New, run it once with
+// Run; a Runner is not reusable.
+type Runner struct {
+	cfg     Config
+	arena   *memory.Arena
+	lock    Lock
+	rng     *rand.Rand
+	parkCh  chan park
+	resume  []chan action
+	scratch []memory.Addr // per-process CS scratch words
+
+	seq       int64
+	procs     []procState
+	occupancy int
+	result    *Result
+}
+
+// New prepares a simulation of the lock produced by factory under cfg.
+func New(cfg Config, factory Factory) (*Runner, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("sim: nil lock factory")
+	}
+	arena := memory.NewArena(cfg.Model, cfg.N)
+	r := &Runner{
+		cfg:     cfg,
+		arena:   arena,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		parkCh:  make(chan park, cfg.N),
+		resume:  make([]chan action, cfg.N),
+		scratch: make([]memory.Addr, cfg.N),
+		procs:   make([]procState, cfg.N),
+	}
+	r.lock = factory(arena, cfg.N)
+	if r.lock == nil {
+		return nil, fmt.Errorf("sim: factory returned nil lock")
+	}
+	for i := range r.resume {
+		r.resume[i] = make(chan action, 1)
+		r.scratch[i] = arena.Alloc(1, i)
+		r.procs[i].request = -1
+	}
+	r.result = &Result{Config: cfg}
+	return r, nil
+}
+
+// Arena exposes the simulated memory for debugging hooks (Peek only).
+func (r *Runner) Arena() *memory.Arena { return r.arena }
+
+// Lock returns the lock instance under test.
+func (r *Runner) Lock() Lock { return r.lock }
+
+// Run executes the simulation to completion: every process has Requests
+// requests satisfied, or the step budget is exhausted (starvation /
+// livelock), in which case an error is returned alongside the partial
+// result.
+func (r *Runner) Run() (*Result, error) {
+	live := r.cfg.N
+	for pid := 0; pid < r.cfg.N; pid++ {
+		go r.process(pid)
+	}
+
+	parked := make([]park, r.cfg.N)
+	isParked := make([]bool, r.cfg.N)
+	nparked := 0
+	var abort error
+
+	for live > 0 {
+		for nparked < live {
+			pk := <-r.parkCh
+			if pk.kind == parkDone {
+				live--
+				continue
+			}
+			parked[pk.pid] = pk
+			isParked[pk.pid] = true
+			nparked++
+		}
+		if live == 0 {
+			break
+		}
+		if abort == nil && r.seq >= r.cfg.MaxSteps {
+			abort = fmt.Errorf("sim: step budget %d exhausted (possible starvation or livelock); %d requests satisfied",
+				r.cfg.MaxSteps, len(r.result.Requests))
+		}
+		if abort != nil {
+			for pid := 0; pid < r.cfg.N; pid++ {
+				if isParked[pid] {
+					isParked[pid] = false
+					nparked--
+					r.resume[pid] <- actAbort
+				}
+			}
+			continue
+		}
+
+		ready := make([]int, 0, nparked)
+		for pid := 0; pid < r.cfg.N; pid++ {
+			if isParked[pid] {
+				ready = append(ready, pid)
+			}
+		}
+		sort.Ints(ready)
+		pid := r.cfg.Sched.Pick(r.rng, ready)
+		if !isParked[pid] {
+			abort = fmt.Errorf("sim: scheduler picked non-ready process %d", pid)
+			continue
+		}
+		pk := parked[pid]
+		isParked[pid] = false
+		nparked--
+		r.grant(pk)
+	}
+
+	r.result.Steps = r.seq
+	r.result.TotalRMRs = r.arena.TotalRMRs()
+	r.result.ArenaWords = r.arena.Size()
+	return r.result, abort
+}
+
+// grant advances one parked process by one step, consulting the failure
+// plan and updating history and statistics.
+func (r *Runner) grant(pk park) {
+	seq := r.seq
+	r.seq++
+	st := &r.procs[pk.pid]
+
+	ctx := StepCtx{
+		PID:         pk.pid,
+		Seq:         seq,
+		IsOp:        pk.kind == parkOp,
+		Op:          pk.op,
+		Ev:          pk.ev,
+		OpIndex:     st.opIndex,
+		Request:     st.request,
+		Attempt:     st.attempt,
+		InPassage:   st.inPassage,
+		InCS:        st.inCS,
+		Crashes:     len(r.result.Crashes),
+		ProcCrashes: st.crashes,
+		Rand:        r.rng,
+	}
+
+	// Failures are injected only at instruction boundaries: every step of
+	// Recover, Enter, CS and Exit is an instruction, and a crash in NCS
+	// is indistinguishable from no crash (the process restarts in NCS
+	// holding nothing).
+	if pk.kind == parkOp && r.cfg.Plan.Crash(ctx) {
+		r.crash(pk, seq)
+		r.resume[pk.pid] <- actCrash
+		return
+	}
+
+	switch pk.kind {
+	case parkOp:
+		st.opIndex++
+		r.cfg.Plan.Observe(ctx)
+		if r.cfg.RecordOps {
+			r.record(Event{Seq: seq, PID: pk.pid, Kind: EvOp, Op: pk.op, Request: st.request, Attempt: st.attempt})
+		}
+	case parkEvent:
+		r.lifecycle(pk, seq)
+	}
+	r.resume[pk.pid] <- actRun
+}
+
+func (r *Runner) lifecycle(pk park, seq int64) {
+	st := &r.procs[pk.pid]
+	switch pk.ev {
+	case EvRequest:
+		st.request++
+		st.attempt = 0
+		st.reqGenSeq = seq
+		st.reqRMRs = 0
+		st.reqPassages = 0
+		st.reqCrashes = 0
+	case EvPassageStart:
+		st.inPassage = true
+		st.passStart = seq
+		st.rmrMark = r.arena.RMRs(pk.pid)
+		st.opsMark = r.arena.Ops(pk.pid)
+	case EvCSEnter:
+		st.inCS = true
+		r.occupancy++
+		if r.occupancy > r.result.MaxCSOverlap {
+			r.result.MaxCSOverlap = r.occupancy
+		}
+	case EvCSExit:
+		st.inCS = false
+		r.occupancy--
+	case EvPassageEnd:
+		r.closePassage(pk.pid, seq, false)
+	case EvSatisfied:
+		r.result.Requests = append(r.result.Requests, RequestStat{
+			PID:      pk.pid,
+			Index:    st.request,
+			GenSeq:   st.reqGenSeq,
+			SatSeq:   seq,
+			Passages: st.reqPassages,
+			Crashes:  st.reqCrashes,
+			RMRs:     st.reqRMRs,
+		})
+	}
+	r.record(Event{Seq: seq, PID: pk.pid, Kind: pk.ev, Request: st.request, Attempt: st.attempt})
+}
+
+func (r *Runner) crash(pk park, seq int64) {
+	st := &r.procs[pk.pid]
+	r.result.Crashes = append(r.result.Crashes, CrashStat{PID: pk.pid, Seq: seq, InCS: st.inCS, Op: pk.op})
+	r.record(Event{Seq: seq, PID: pk.pid, Kind: EvCrash, Op: pk.op, Request: st.request, Attempt: st.attempt})
+	if st.inCS {
+		st.inCS = false
+		r.occupancy--
+	}
+	if st.inPassage {
+		r.closePassage(pk.pid, seq, true)
+	}
+	st.crashes++
+	st.reqCrashes++
+	// Private state — including cache contents — does not survive.
+	r.arena.InvalidateCache(pk.pid)
+}
+
+func (r *Runner) closePassage(pid int, seq int64, crashed bool) {
+	st := &r.procs[pid]
+	rmrs := r.arena.RMRs(pid) - st.rmrMark
+	ps := PassageStat{
+		PID:      pid,
+		Request:  st.request,
+		Attempt:  st.attempt,
+		RMRs:     rmrs,
+		Ops:      r.arena.Ops(pid) - st.opsMark,
+		Crashed:  crashed,
+		StartSeq: st.passStart,
+		EndSeq:   seq,
+	}
+	r.result.Passages = append(r.result.Passages, ps)
+	st.reqRMRs += rmrs
+	st.reqPassages++
+	st.inPassage = false
+	st.attempt++
+}
+
+func (r *Runner) record(ev Event) {
+	if ev.Kind != EvOp || r.cfg.RecordOps {
+		r.result.Events = append(r.result.Events, ev)
+	}
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(ev, r.arena)
+	}
+}
+
+// Step implements memory.Gate: it is invoked on the process goroutine
+// before each shared-memory instruction.
+func (r *Runner) Step(pid int, op memory.OpInfo) {
+	r.rendezvous(park{pid: pid, kind: parkOp, op: op})
+}
+
+func (r *Runner) rendezvous(pk park) {
+	r.parkCh <- pk
+	switch <-r.resume[pk.pid] {
+	case actRun:
+	case actCrash:
+		panic(crashSignal{})
+	case actAbort:
+		panic(abortSignal{})
+	}
+}
+
+func (r *Runner) event(pid int, ev EventKind) {
+	r.rendezvous(park{pid: pid, kind: parkEvent, ev: ev})
+}
+
+// process is the goroutine body of one simulated process, following the
+// execution model of Algorithm 1.
+func (r *Runner) process(pid int) {
+	defer func() {
+		if e := recover(); e != nil {
+			if _, ok := e.(abortSignal); !ok {
+				panic(e)
+			}
+		}
+		r.parkCh <- park{pid: pid, kind: parkDone}
+	}()
+
+	port := r.arena.Port(pid, r)
+	for req := 0; req < r.cfg.Requests; req++ {
+		r.event(pid, EvNCS)
+		r.event(pid, EvRequest) // the process leaves NCS wanting the CS
+		for !r.attempt(pid, port) {
+			// Crashed: the process restarts from NCS (Section 2.3)
+			// and retries the same request.
+			r.event(pid, EvNCS)
+		}
+		r.event(pid, EvSatisfied)
+	}
+}
+
+// attempt executes one passage. It reports false if the process crashed,
+// in which case all private state of the passage has been discarded by
+// unwinding.
+func (r *Runner) attempt(pid int, port *memory.ArenaPort) (ok bool) {
+	defer func() {
+		switch e := recover(); e.(type) {
+		case nil:
+		case crashSignal:
+			ok = false
+		default:
+			panic(e)
+		}
+	}()
+	r.event(pid, EvPassageStart)
+	r.lock.Recover(port)
+	r.event(pid, EvEnterStart)
+	r.lock.Enter(port)
+	r.event(pid, EvCSEnter)
+	for i := 0; i < r.cfg.CSOps; i++ {
+		port.Read(r.scratch[pid])
+	}
+	r.event(pid, EvCSExit)
+	r.lock.Exit(port)
+	r.event(pid, EvPassageEnd)
+	return true
+}

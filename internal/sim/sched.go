@@ -1,0 +1,59 @@
+package sim
+
+import "math/rand"
+
+// Scheduler decides which parked process advances next. ready is the set of
+// parked process identifiers in ascending order and is never empty. The
+// scheduler must return an element of ready. Implementations may be
+// stateful; a fresh value is used per run.
+type Scheduler interface {
+	Pick(rng *rand.Rand, ready []int) int
+}
+
+// RandomSched picks a uniformly random ready process. Combined with the
+// run seed this produces fair, reproducible interleavings.
+type RandomSched struct{}
+
+// Pick implements Scheduler.
+func (RandomSched) Pick(rng *rand.Rand, ready []int) int {
+	return ready[rng.Intn(len(ready))]
+}
+
+// RoundRobin cycles through processes in identifier order, advancing the
+// lowest ready process after the last one it picked. It produces highly
+// regular interleavings that are useful in unit tests.
+type RoundRobin struct {
+	last int
+}
+
+// Pick implements Scheduler.
+func (s *RoundRobin) Pick(_ *rand.Rand, ready []int) int {
+	for _, pid := range ready {
+		if pid > s.last {
+			s.last = pid
+			return pid
+		}
+	}
+	s.last = ready[0]
+	return ready[0]
+}
+
+// PrioritySched always advances the ready process for which less returns
+// true against every other candidate; ties go to the lower identifier. It
+// lets tests build adversarial schedules (e.g. always run the crasher
+// first).
+type PrioritySched struct {
+	// Less reports whether a should run before b.
+	Less func(a, b int) bool
+}
+
+// Pick implements Scheduler.
+func (s PrioritySched) Pick(_ *rand.Rand, ready []int) int {
+	best := ready[0]
+	for _, pid := range ready[1:] {
+		if s.Less(pid, best) {
+			best = pid
+		}
+	}
+	return best
+}

@@ -1,0 +1,179 @@
+// Package sim executes recoverable mutual exclusion algorithms on the
+// simulated shared memory of internal/memory under the paper's system model
+// (Dhoked & Mittal, PODC 2020, Section 2):
+//
+//   - n asynchronous processes repeatedly execute
+//     NCS → Recover → Enter → CS → Exit (Algorithm 1);
+//   - a process may crash at any instruction boundary, losing all private
+//     variables while shared memory persists;
+//   - a crashed process eventually restarts from the beginning of NCS.
+//
+// The simulator runs each process as a goroutine but serializes execution:
+// before every shared-memory instruction (and at every segment boundary)
+// the process parks at a rendezvous, and a seeded scheduler picks which
+// parked process advances. Crashes are injected by failure plans at these
+// rendezvous points, so every adversarial interleaving and crash placement
+// expressible in the paper's model — including "immediately after the FAS
+// instruction" — is reachable deterministically from a seed.
+//
+// The runner records a history of lifecycle events (request generation and
+// satisfaction, segment transitions, crashes, optionally every instruction)
+// plus per-passage RMR counts, which internal/check and internal/bench
+// consume to validate the paper's properties and regenerate its tables.
+package sim
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+)
+
+// Lock is a (weakly or strongly) recoverable mutual exclusion algorithm as
+// defined by the paper's execution model: Recover performs post-failure
+// cleanup, Enter acquires the lock, Exit releases it. Implementations keep
+// all per-process mutable state in shared memory (it must survive crashes);
+// any Go-level fields must be immutable after construction.
+type Lock interface {
+	Recover(p memory.Port)
+	Enter(p memory.Port)
+	Exit(p memory.Port)
+}
+
+// Factory constructs a lock instance over the given shared memory space
+// for n processes. It is invoked once per run before any process starts.
+type Factory func(sp memory.Space, n int) Lock
+
+// EventKind identifies a lifecycle event in a simulation history.
+type EventKind uint8
+
+// Lifecycle events. EvOp is only recorded when Config.RecordOps is set.
+const (
+	// EvRequest marks the generation of a new critical-section request
+	// (the process leaves NCS for the first time in a super-passage).
+	EvRequest EventKind = iota + 1
+	// EvNCS marks the process executing its non-critical section.
+	EvNCS
+	// EvPassageStart marks the beginning of a passage: the process is
+	// about to execute the Recover segment (Definition 2.1).
+	EvPassageStart
+	// EvEnterStart marks the boundary between Recover and Enter.
+	EvEnterStart
+	// EvCSEnter marks completion of Enter: the process is in its CS.
+	EvCSEnter
+	// EvCSExit marks the process leaving its CS to execute Exit.
+	EvCSExit
+	// EvPassageEnd marks completion of Exit: a failure-free passage.
+	EvPassageEnd
+	// EvSatisfied marks satisfaction of the process's current request
+	// (end of its super-passage, Definition 2.3).
+	EvSatisfied
+	// EvCrash marks a failure of the process (Section 2.2).
+	EvCrash
+	// EvOp records a single shared-memory instruction.
+	EvOp
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvRequest:
+		return "request"
+	case EvNCS:
+		return "ncs"
+	case EvPassageStart:
+		return "passage-start"
+	case EvEnterStart:
+		return "enter-start"
+	case EvCSEnter:
+		return "cs-enter"
+	case EvCSExit:
+		return "cs-exit"
+	case EvPassageEnd:
+		return "passage-end"
+	case EvSatisfied:
+		return "satisfied"
+	case EvCrash:
+		return "crash"
+	case EvOp:
+		return "op"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of a simulation history. Seq is the global logical
+// time (one tick per scheduler grant); Request counts the process's
+// requests from zero; Attempt counts passages within the current request.
+type Event struct {
+	Seq     int64
+	PID     int
+	Kind    EventKind
+	Op      memory.OpInfo // valid for EvOp and EvCrash at an instruction
+	Request int
+	Attempt int
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// N is the number of processes (required, ≥ 1).
+	N int
+	// Model selects CC or DSM RMR accounting (required).
+	Model memory.Model
+	// Requests is the number of critical-section requests each process
+	// must have satisfied before the run ends. Defaults to 1.
+	Requests int
+	// Seed drives the scheduler and randomized failure plans.
+	Seed int64
+	// Sched picks the next process to advance. Defaults to a uniformly
+	// random choice.
+	Sched Scheduler
+	// Plan injects failures. Defaults to NoFailures.
+	Plan FailurePlan
+	// CSOps is the number of shared-memory reads each process performs
+	// inside its critical section (on a per-lock scratch word). These
+	// rendezvous give failure plans the opportunity to crash a process
+	// inside its CS. Defaults to 1.
+	CSOps int
+	// MaxSteps aborts the run (with an error) if the scheduler grants
+	// more than this many rendezvous; it guards against livelock and
+	// starvation bugs. Defaults to 2,000,000.
+	MaxSteps int64
+	// RecordOps includes every shared-memory instruction in the history.
+	// Lifecycle events are always recorded.
+	RecordOps bool
+	// OnEvent, if non-nil, is invoked synchronously by the scheduler for
+	// every recorded event. The callback may inspect the arena (Peek)
+	// but must not mutate it.
+	OnEvent func(ev Event, a *memory.Arena)
+}
+
+func (c *Config) fill() error {
+	if c.N < 1 {
+		return fmt.Errorf("sim: N = %d, want ≥ 1", c.N)
+	}
+	if c.Model != memory.CC && c.Model != memory.DSM {
+		return fmt.Errorf("sim: invalid memory model %d", c.Model)
+	}
+	if c.Requests == 0 {
+		c.Requests = 1
+	}
+	if c.Requests < 0 {
+		return fmt.Errorf("sim: Requests = %d, want ≥ 0", c.Requests)
+	}
+	if c.Sched == nil {
+		c.Sched = RandomSched{}
+	}
+	if c.Plan == nil {
+		c.Plan = NoFailures{}
+	}
+	if c.CSOps == 0 {
+		c.CSOps = 1
+	}
+	if c.CSOps < 0 {
+		return fmt.Errorf("sim: CSOps = %d, want ≥ 0", c.CSOps)
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2_000_000
+	}
+	return nil
+}

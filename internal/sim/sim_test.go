@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rme/internal/memory"
+)
+
+// tasLock is a minimal strongly recoverable test-and-set lock used to
+// exercise the harness. It is unfair but correct: the flag word holds
+// pid+1 while process pid owns the lock, so recovery after a crash inside
+// the CS re-enters immediately (BCSR) and Exit is idempotent.
+type tasLock struct {
+	flag memory.Addr
+}
+
+func newTAS(sp memory.Space, n int) Lock {
+	return &tasLock{flag: sp.Alloc(1, memory.HomeNone)}
+}
+
+func (l *tasLock) Recover(p memory.Port) {}
+
+func (l *tasLock) Enter(p memory.Port) {
+	me := uint64(p.PID()) + 1
+	if p.Read(l.flag) == me {
+		return // crashed while holding the lock; re-enter
+	}
+	for !p.CAS(l.flag, 0, me) {
+		p.Pause()
+	}
+}
+
+func (l *tasLock) Exit(p memory.Port) {
+	p.CAS(l.flag, uint64(p.PID())+1, 0)
+}
+
+// brokenLock performs no synchronization at all; it exists to prove the
+// harness detects mutual exclusion violations.
+type brokenLock struct{ w memory.Addr }
+
+func newBroken(sp memory.Space, n int) Lock {
+	return &brokenLock{w: sp.Alloc(1, memory.HomeNone)}
+}
+
+func (l *brokenLock) Recover(p memory.Port) {}
+func (l *brokenLock) Enter(p memory.Port)   { p.Read(l.w) }
+func (l *brokenLock) Exit(p memory.Port)    { p.Read(l.w) }
+
+// stuckLock deadlocks every process, to exercise the step-budget abort.
+type stuckLock struct{ w memory.Addr }
+
+func newStuck(sp memory.Space, n int) Lock {
+	return &stuckLock{w: sp.Alloc(1, memory.HomeNone)}
+}
+
+func (l *stuckLock) Recover(p memory.Port) {}
+func (l *stuckLock) Enter(p memory.Port) {
+	for p.Read(l.w) == 0 {
+		p.Pause()
+	}
+}
+func (l *stuckLock) Exit(p memory.Port) {}
+
+func run(t *testing.T, cfg Config, f Factory) *Result {
+	t.Helper()
+	r, err := New(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, Model: memory.CC},
+		{N: 2, Model: memory.Model(0)},
+		{N: 2, Model: memory.CC, Requests: -1},
+		{N: 2, Model: memory.CC, CSOps: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, newTAS); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+	if _, err := New(Config{N: 1, Model: memory.CC}, nil); err == nil {
+		t.Error("nil factory: expected error")
+	}
+}
+
+func TestFailureFreeRun(t *testing.T) {
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		res := run(t, Config{N: 4, Model: model, Requests: 3, Seed: 1}, newTAS)
+		if got := len(res.Requests); got != 12 {
+			t.Fatalf("[%v] %d requests satisfied, want 12", model, got)
+		}
+		if got := len(res.Passages); got != 12 {
+			t.Fatalf("[%v] %d passages, want 12", model, got)
+		}
+		if res.MaxCSOverlap != 1 {
+			t.Fatalf("[%v] MaxCSOverlap = %d, want 1", model, res.MaxCSOverlap)
+		}
+		if res.CrashCount() != 0 {
+			t.Fatalf("[%v] %d crashes, want 0", model, res.CrashCount())
+		}
+		for _, p := range res.Passages {
+			if p.Crashed {
+				t.Fatalf("[%v] passage %+v marked crashed", model, p)
+			}
+			if p.Ops <= 0 {
+				t.Fatalf("[%v] passage with %d ops", model, p.Ops)
+			}
+		}
+		for _, q := range res.Requests {
+			if q.Passages != 1 || q.Crashes != 0 {
+				t.Fatalf("[%v] request %+v, want 1 failure-free passage", model, q)
+			}
+			if q.SatSeq <= q.GenSeq {
+				t.Fatalf("[%v] request satisfied before generated: %+v", model, q)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{N: 3, Model: memory.CC, Requests: 4, Seed: 42, RecordOps: true,
+		Plan: &RandomFailures{Rate: 0.01, MaxTotal: 5, DuringPassage: true}}
+	r1, err := New(cfg, newTAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := r1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Plan = &RandomFailures{Rate: 0.01, MaxTotal: 5, DuringPassage: true}
+	r2, err := New(cfg, newTAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Events, res2.Events) {
+		t.Fatal("same seed produced different histories")
+	}
+	if res1.Steps != res2.Steps || res1.TotalRMRs != res2.TotalRMRs {
+		t.Fatal("same seed produced different statistics")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) *Result {
+		return run(t, Config{N: 3, Model: memory.CC, Requests: 5, Seed: seed, RecordOps: true}, newTAS)
+	}
+	if reflect.DeepEqual(mk(1).Events, mk(2).Events) {
+		t.Fatal("different seeds produced identical histories (scheduler ignores seed?)")
+	}
+}
+
+func TestCrashAtOp(t *testing.T) {
+	plan := &CrashAtOp{PID: 0, OpIndex: 2}
+	res := run(t, Config{N: 2, Model: memory.CC, Requests: 2, Seed: 7, Plan: plan}, newTAS)
+	if res.CrashCount() != 1 {
+		t.Fatalf("%d crashes, want 1", res.CrashCount())
+	}
+	c := res.Crashes[0]
+	if c.PID != 0 {
+		t.Fatalf("crashed pid = %d, want 0", c.PID)
+	}
+	// All requests still satisfied despite the failure.
+	if got := len(res.Requests); got != 4 {
+		t.Fatalf("%d requests satisfied, want 4", got)
+	}
+	// Process 0's crashed request took more than one passage.
+	var crashedPassages int
+	for _, p := range res.Passages {
+		if p.Crashed {
+			crashedPassages++
+		}
+	}
+	if crashedPassages != 1 {
+		t.Fatalf("%d crashed passages, want 1", crashedPassages)
+	}
+}
+
+func TestCrashInCSAndReentry(t *testing.T) {
+	// Crash process 0 inside its critical section (the CS scratch read),
+	// then verify the request completes with a second passage.
+	plan := PlanFunc(func(ctx StepCtx) bool {
+		return ctx.PID == 0 && ctx.InCS && ctx.ProcCrashes == 0
+	})
+	res := run(t, Config{N: 2, Model: memory.DSM, Requests: 1, Seed: 3, Plan: plan}, newTAS)
+	if res.CrashCount() != 1 {
+		t.Fatalf("%d crashes, want 1", res.CrashCount())
+	}
+	if !res.Crashes[0].InCS {
+		t.Fatal("crash not recorded as in-CS")
+	}
+	if got := len(res.Requests); got != 2 {
+		t.Fatalf("%d requests satisfied, want 2", got)
+	}
+	for _, q := range res.Requests {
+		if q.PID == 0 && (q.Passages != 2 || q.Crashes != 1) {
+			t.Fatalf("request of crashed process: %+v, want 2 passages 1 crash", q)
+		}
+	}
+	// Occupancy bookkeeping survived the in-CS crash.
+	if res.MaxCSOverlap != 1 {
+		t.Fatalf("MaxCSOverlap = %d, want 1", res.MaxCSOverlap)
+	}
+}
+
+func TestMEViolationDetected(t *testing.T) {
+	res := run(t, Config{N: 4, Model: memory.CC, Requests: 20, Seed: 5, CSOps: 4}, newBroken)
+	if res.MaxCSOverlap < 2 {
+		t.Fatalf("broken lock produced MaxCSOverlap = %d, want ≥ 2", res.MaxCSOverlap)
+	}
+}
+
+func TestStepBudgetAbort(t *testing.T) {
+	r, err := New(Config{N: 2, Model: memory.CC, Requests: 1, Seed: 1, MaxSteps: 500}, newStuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("expected step-budget error for deadlocked lock")
+	}
+}
+
+func TestRecordOps(t *testing.T) {
+	res := run(t, Config{N: 1, Model: memory.CC, Requests: 1, Seed: 1, RecordOps: true}, newTAS)
+	var ops, lifecycle int
+	for _, ev := range res.Events {
+		if ev.Kind == EvOp {
+			ops++
+		} else {
+			lifecycle++
+		}
+	}
+	if ops == 0 {
+		t.Fatal("RecordOps recorded no instructions")
+	}
+	if lifecycle == 0 {
+		t.Fatal("no lifecycle events recorded")
+	}
+	// Without RecordOps, instruction events are suppressed.
+	res2 := run(t, Config{N: 1, Model: memory.CC, Requests: 1, Seed: 1}, newTAS)
+	for _, ev := range res2.Events {
+		if ev.Kind == EvOp {
+			t.Fatal("EvOp recorded without RecordOps")
+		}
+	}
+}
+
+func TestEventOrderingPerProcess(t *testing.T) {
+	res := run(t, Config{N: 3, Model: memory.CC, Requests: 2, Seed: 9}, newTAS)
+	// Per process, lifecycle events must follow the execution model:
+	// ncs (request ncs*) passage-start enter-start cs-enter cs-exit passage-end satisfied ...
+	next := map[EventKind][]EventKind{
+		EvNCS:          {EvRequest, EvPassageStart},
+		EvRequest:      {EvPassageStart},
+		EvPassageStart: {EvEnterStart},
+		EvEnterStart:   {EvCSEnter},
+		EvCSEnter:      {EvCSExit},
+		EvCSExit:       {EvPassageEnd},
+		EvPassageEnd:   {EvSatisfied},
+		EvSatisfied:    {EvNCS},
+	}
+	last := map[int]EventKind{}
+	for _, ev := range res.Events {
+		if ev.Kind == EvOp || ev.Kind == EvCrash {
+			continue
+		}
+		if prev, ok := last[ev.PID]; ok {
+			allowed := next[prev]
+			found := false
+			for _, k := range allowed {
+				if k == ev.Kind {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("process %d: %v followed by %v", ev.PID, prev, ev.Kind)
+			}
+		} else if ev.Kind != EvNCS {
+			t.Fatalf("process %d: first event %v, want ncs", ev.PID, ev.Kind)
+		}
+		last[ev.PID] = ev.Kind
+	}
+}
+
+func TestSeqStrictlyIncreasing(t *testing.T) {
+	res := run(t, Config{N: 3, Model: memory.CC, Requests: 2, Seed: 11, RecordOps: true}, newTAS)
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Seq <= res.Events[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, res.Events[i-1].Seq, res.Events[i].Seq)
+		}
+	}
+}
+
+func TestRoundRobinScheduler(t *testing.T) {
+	res := run(t, Config{N: 3, Model: memory.CC, Requests: 2, Seed: 1, Sched: &RoundRobin{last: -1}}, newTAS)
+	if got := len(res.Requests); got != 6 {
+		t.Fatalf("%d requests satisfied, want 6", got)
+	}
+}
+
+func TestPriorityScheduler(t *testing.T) {
+	// Always prefer higher pids: lower pids only run when higher are done.
+	res := run(t, Config{N: 3, Model: memory.CC, Requests: 1, Seed: 1,
+		Sched: PrioritySched{Less: func(a, b int) bool { return a > b }}}, newTAS)
+	order := make([]int, 0, 3)
+	for _, ev := range res.Events {
+		if ev.Kind == EvSatisfied {
+			order = append(order, ev.PID)
+		}
+	}
+	want := []int{2, 1, 0}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("satisfaction order = %v, want %v", order, want)
+	}
+}
+
+func TestZeroRequests(t *testing.T) {
+	res := run(t, Config{N: 2, Model: memory.CC, Requests: 0, Seed: 1}, newTAS)
+	_ = res
+	// Requests defaults to 1 when zero.
+	if len(res.Requests) != 2 {
+		t.Fatalf("%d requests, want 2 (default Requests=1)", len(res.Requests))
+	}
+}
+
+func TestOnEventCallback(t *testing.T) {
+	var crashes int
+	plan := &CrashAtOp{PID: 0, OpIndex: 1}
+	cfg := Config{N: 1, Model: memory.CC, Requests: 1, Seed: 1, Plan: plan,
+		OnEvent: func(ev Event, a *memory.Arena) {
+			if ev.Kind == EvCrash {
+				crashes++
+			}
+		}}
+	r, err := New(cfg, newTAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if crashes != 1 {
+		t.Fatalf("callback saw %d crashes, want 1", crashes)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	res := run(t, Config{N: 2, Model: memory.DSM, Requests: 5, Seed: 2}, newTAS)
+	s := res.SummarizePassageRMRs(nil)
+	if s.Count != 10 || s.Max <= 0 || s.Mean <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+	ff := res.SummarizePassageRMRs(func(p PassageStat) bool { return !p.Crashed })
+	if ff.Count != 10 {
+		t.Fatalf("failure-free count = %d, want 10", ff.Count)
+	}
+	rq := res.SummarizeRequestRMRs()
+	if rq.Count != 10 {
+		t.Fatalf("request summary count = %d, want 10", rq.Count)
+	}
+	if (Summary{}) != summarizeEmpty() {
+		t.Fatal("empty summarize not zero")
+	}
+}
+
+func summarizeEmpty() Summary { return summarize(nil) }
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EvRequest, EvNCS, EvPassageStart, EvEnterStart, EvCSEnter,
+		EvCSExit, EvPassageEnd, EvSatisfied, EvCrash, EvOp, EventKind(77)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", uint8(k))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rme/internal/memory"
+)
+
+// PassageStat records the cost of one passage (Definition 2.1): the steps
+// from the start of Recover until Exit completes or the process fails.
+type PassageStat struct {
+	PID     int
+	Request int
+	Attempt int
+	// RMRs and Ops are the remote memory references and instructions the
+	// process spent in this passage (including the CS body's accesses).
+	RMRs int64
+	Ops  int64
+	// Crashed reports whether the passage ended in a failure rather than
+	// completing Exit.
+	Crashed bool
+	// StartSeq and EndSeq delimit the passage in global logical time.
+	StartSeq, EndSeq int64
+}
+
+// RequestStat records one request (super-passage, Definition 2.3).
+type RequestStat struct {
+	PID   int
+	Index int
+	// GenSeq is when the request was generated (process left NCS);
+	// SatSeq is when it was satisfied (failure-free passage completed).
+	GenSeq, SatSeq int64
+	// Passages is the number of passages the super-passage comprised;
+	// Crashes = Passages - 1.
+	Passages int
+	Crashes  int
+	// RMRs is the total RMR cost over all passages of the super-passage.
+	RMRs int64
+}
+
+// CrashStat records one failure.
+type CrashStat struct {
+	PID int
+	Seq int64
+	// InCS reports whether the process failed inside its critical
+	// section.
+	InCS bool
+	// Op is the instruction the process was about to execute (zero
+	// OpInfo when the process crashed at a lifecycle boundary).
+	Op memory.OpInfo
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Config Config
+	// Steps is the total number of scheduler grants.
+	Steps int64
+	// Events is the recorded history (lifecycle events, plus every
+	// instruction when Config.RecordOps is set), in global order.
+	Events []Event
+	// Passages, Requests and Crashes aggregate per-passage, per-request
+	// and per-failure statistics.
+	Passages []PassageStat
+	Requests []RequestStat
+	Crashes  []CrashStat
+	// MaxCSOverlap is the maximum number of processes simultaneously in
+	// their critical sections at any point of the run. A strongly
+	// recoverable lock must keep it at 1.
+	MaxCSOverlap int
+	// TotalRMRs is the total RMR count over all processes.
+	TotalRMRs int64
+	// ArenaWords is the number of shared-memory words allocated by the
+	// end of the run (space complexity).
+	ArenaWords int
+}
+
+// Summary condenses a distribution of per-passage (or per-request) RMR
+// counts.
+type Summary struct {
+	Count  int
+	Max    int64
+	Mean   float64
+	P99    int64
+	Median int64
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("count=%d max=%d mean=%.1f median=%d p99=%d", s.Count, s.Max, s.Mean, s.Median, s.P99)
+}
+
+// SummarizePassageRMRs summarizes RMRs per passage over passages selected
+// by keep (all passages when keep is nil).
+func (r *Result) SummarizePassageRMRs(keep func(PassageStat) bool) Summary {
+	vals := make([]int64, 0, len(r.Passages))
+	for _, p := range r.Passages {
+		if keep == nil || keep(p) {
+			vals = append(vals, p.RMRs)
+		}
+	}
+	return summarize(vals)
+}
+
+// SummarizeRequestRMRs summarizes total RMRs per super-passage.
+func (r *Result) SummarizeRequestRMRs() Summary {
+	vals := make([]int64, 0, len(r.Requests))
+	for _, q := range r.Requests {
+		vals = append(vals, q.RMRs)
+	}
+	return summarize(vals)
+}
+
+func summarize(vals []int64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	idx := func(q float64) int64 {
+		i := int(math.Ceil(q*float64(len(vals)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return vals[i]
+	}
+	return Summary{
+		Count:  len(vals),
+		Max:    vals[len(vals)-1],
+		Mean:   float64(sum) / float64(len(vals)),
+		Median: idx(0.5),
+		P99:    idx(0.99),
+	}
+}
+
+// CrashCount returns the number of injected failures.
+func (r *Result) CrashCount() int { return len(r.Crashes) }

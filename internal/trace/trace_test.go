@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rme/internal/core"
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+func run(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	r, err := sim.New(cfg, func(sp memory.Space, n int) sim.Lock {
+		return core.NewWRLock(sp, n, "wr", nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineBasics(t *testing.T) {
+	res := run(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 3})
+	out := Timeline(res, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 process rows
+		t.Fatalf("%d lines, want 4:\n%s", len(lines), out)
+	}
+	for pid, row := range lines[1:] {
+		if !strings.HasPrefix(row, "p") {
+			t.Fatalf("row %d missing prefix: %q", pid, row)
+		}
+		for _, sym := range []string{"█", "│"} {
+			if !strings.Contains(row, sym) {
+				t.Fatalf("process row missing %q:\n%s", sym, out)
+			}
+		}
+	}
+}
+
+func TestTimelineShowsCrashes(t *testing.T) {
+	plan := &sim.CrashAtOp{PID: 1, OpIndex: 4}
+	res := run(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 5, Plan: plan})
+	out := Timeline(res, 80)
+	if !strings.Contains(out, "✖") {
+		t.Fatalf("crash symbol missing:\n%s", out)
+	}
+}
+
+func TestTimelineEdgeCases(t *testing.T) {
+	if got := Timeline(&sim.Result{}, 40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty history rendering: %q", got)
+	}
+	res := run(t, sim.Config{N: 1, Model: memory.CC, Requests: 1, Seed: 1})
+	out := Timeline(res, 3) // clamped up to the minimum width
+	if !strings.Contains(out, "p0") {
+		t.Fatalf("narrow timeline broken:\n%s", out)
+	}
+}
+
+func TestPassageTable(t *testing.T) {
+	plan := &sim.CrashAtOp{PID: 0, OpIndex: 3}
+	res := run(t, sim.Config{N: 2, Model: memory.CC, Requests: 2, Seed: 7, Plan: plan})
+	out := PassageTable(res)
+	if !strings.Contains(out, "✖") {
+		t.Fatalf("crashed passage not marked:\n%s", out)
+	}
+	// One line per passage plus the header.
+	lines := strings.Count(out, "\n")
+	if lines != len(res.Passages)+1 {
+		t.Fatalf("%d lines for %d passages", lines, len(res.Passages))
+	}
+}

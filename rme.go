@@ -1,0 +1,242 @@
+// Package rme provides recoverable mutual exclusion for Go programs,
+// implementing Dhoked & Mittal, "An Adaptive Approach to Recoverable
+// Mutual Exclusion" (PODC 2020).
+//
+// A Mutex is an n-process lock whose entire state lives in a persistent
+// word arena (the stand-in for NVRAM): a process — a worker goroutine
+// holding a process identifier — can fail at any instruction boundary
+// while acquiring, holding or releasing the lock, lose all of its private
+// state, and later recover by simply calling Lock again. Mutual exclusion,
+// starvation freedom, and bounded critical-section re-entry hold across
+// such failures.
+//
+// The lock is the paper's BA-Lock: a stack of semi-adaptive filter levels
+// over a strongly recoverable base lock. Acquiring it costs O(1) remote
+// memory references when no failures have occurred recently, O(√F) when F
+// recent failures have, and never more than the base lock's O(log n) (or
+// O(log n / log log n) with the arbitration-tree base).
+//
+// The companion packages under internal/ run the same algorithms on an
+// RMR-exact simulator; cmd/rmebench regenerates the paper's tables and
+// figures from them.
+package rme
+
+import (
+	"fmt"
+
+	"rme/internal/arbtree"
+	"rme/internal/core"
+	"rme/internal/grlock"
+	"rme/internal/memory"
+	"rme/internal/reclaim"
+)
+
+// Base selects the non-adaptive strongly recoverable lock placed at the
+// bottom of the recursion.
+type Base int
+
+// Base locks.
+const (
+	// BaseTournament is the binary tournament of recoverable 2-process
+	// locks: T(n) = O(log n) under both CC and DSM.
+	BaseTournament Base = iota + 1
+	// BaseArbTree is the Δ-ary arbitration tree:
+	// T(n) = O(log n / log log n) under CC.
+	BaseArbTree
+)
+
+type config struct {
+	base        Base
+	levels      int
+	reclamation bool
+	slack       int
+	fail        FailFunc
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithBase selects the base lock (default BaseTournament).
+func WithBase(b Base) Option { return func(c *config) { c.base = b } }
+
+// WithLevels overrides the recursion depth m (default: the paper's
+// m = T(n) choice for the selected base).
+func WithLevels(m int) Option { return func(c *config) { c.levels = m } }
+
+// WithoutReclamation disables the Section 7.2 node pools. Queue nodes are
+// then allocated fresh from the arena, whose extra capacity must be sized
+// with WithSlack; memory use grows with the number of passages.
+func WithoutReclamation() Option { return func(c *config) { c.reclamation = false } }
+
+// WithSlack reserves extra arena words beyond the lock's measured
+// footprint (needed only with WithoutReclamation).
+func WithSlack(words int) Option { return func(c *config) { c.slack = words } }
+
+// FailFunc is a failure-injection hook for tests and demonstrations: it is
+// consulted before every shared-memory instruction of the lock, with the
+// process identifier; returning true makes that process crash there (the
+// lock call panics with a crash sentinel that Passage converts into a
+// normal return).
+type FailFunc func(pid int) bool
+
+// WithFailures installs a failure-injection hook.
+func WithFailures(f FailFunc) Option { return func(c *config) { c.fail = f } }
+
+// Mutex is a recoverable mutual exclusion lock for n processes.
+//
+// Process identifiers are 0..n-1. At any moment at most one goroutine may
+// act as a given process; beyond that, all methods are safe for concurrent
+// use. A process that "crashes" (a Passage that returns false, or an
+// application-level failure) recovers by calling Lock — or Passage —
+// again with the same identifier.
+type Mutex struct {
+	n     int
+	cfg   config
+	arena *memory.NativeArena
+	lock  core.RecoverableLock
+	ports []*memory.NativePort
+}
+
+// countingSpace measures a lock's arena footprint without allocating.
+type countingSpace struct {
+	words int
+}
+
+func (s *countingSpace) Alloc(nwords, home int) memory.Addr {
+	if nwords <= 0 {
+		panic(fmt.Sprintf("rme: Alloc(%d)", nwords))
+	}
+	base := s.words + 1 // word 0 is reserved
+	s.words += nwords
+	return memory.Addr(base)
+}
+
+// New creates a recoverable mutex for n processes.
+func New(n int, opts ...Option) (*Mutex, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rme: New(%d): need at least one process", n)
+	}
+	cfg := config{base: BaseTournament, reclamation: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.levels == 0 {
+		switch cfg.base {
+		case BaseArbTree:
+			cfg.levels = core.SubLogLevels(n)
+		default:
+			cfg.levels = core.DefaultLevels(n)
+		}
+	}
+	if cfg.levels < 1 {
+		return nil, fmt.Errorf("rme: invalid level count %d", cfg.levels)
+	}
+	var baseFactory core.BaseFactory
+	switch cfg.base {
+	case BaseTournament:
+		baseFactory = func(sp memory.Space, n int) core.RecoverableLock {
+			return grlock.NewTournament(sp, n)
+		}
+	case BaseArbTree:
+		baseFactory = func(sp memory.Space, n int) core.RecoverableLock {
+			return arbtree.New(sp, n, 0)
+		}
+	default:
+		return nil, fmt.Errorf("rme: unknown base lock %d", cfg.base)
+	}
+	var src core.SourceFactory
+	if cfg.reclamation {
+		src = func(sp memory.Space, n, level int) core.NodeSource {
+			return reclaim.NewPool(sp, n)
+		}
+	}
+
+	// Measure the exact footprint, then build for real.
+	sizer := &countingSpace{}
+	core.NewBALock(sizer, n, cfg.levels, baseFactory, src)
+	capacity := sizer.words + 1 + cfg.slack
+	if !cfg.reclamation && cfg.slack == 0 {
+		capacity += 1 << 16 // room for dynamically allocated queue nodes
+	}
+
+	arena := memory.NewNativeArena(n, capacity)
+	m := &Mutex{
+		n:     n,
+		cfg:   cfg,
+		arena: arena,
+		lock:  core.NewBALock(arena, n, cfg.levels, baseFactory, src),
+		ports: make([]*memory.NativePort, n),
+	}
+	var fail memory.FailFunc
+	if cfg.fail != nil {
+		hook := cfg.fail
+		fail = func(pid int, op memory.OpInfo) bool { return hook(pid) }
+	}
+	for i := 0; i < n; i++ {
+		m.ports[i] = arena.Port(i, fail)
+	}
+	return m, nil
+}
+
+// N returns the number of processes.
+func (m *Mutex) N() int { return m.n }
+
+// Footprint returns the number of shared-memory words the lock occupies.
+func (m *Mutex) Footprint() int { return m.arena.Size() }
+
+func (m *Mutex) port(pid int) *memory.NativePort {
+	if pid < 0 || pid >= m.n {
+		panic(fmt.Sprintf("rme: pid %d out of range [0,%d)", pid, m.n))
+	}
+	return m.ports[pid]
+}
+
+// Lock acquires the mutex as process pid, running the Recover and Enter
+// segments of the paper's execution model. It is the correct call both
+// for first acquisition and for recovery after a failure: all recovery
+// state lives in the arena.
+//
+// With failure injection enabled, Lock panics with an ErrCrash sentinel
+// at injected failures; use Passage for loop-free handling.
+func (m *Mutex) Lock(pid int) {
+	p := m.port(pid)
+	m.lock.Recover(p)
+	m.lock.Enter(p)
+}
+
+// Unlock releases the mutex as process pid (the Exit segment).
+func (m *Mutex) Unlock(pid int) {
+	m.lock.Exit(m.port(pid))
+}
+
+// Passage runs one passage: Recover, Enter, the critical section cs, and
+// Exit. It reports false if an injected failure interrupted the passage
+// (including a Crash called inside cs), in which case the caller should
+// retry — exactly the paper's model of a process restarting after a
+// crash. The critical section should be idempotent if failures inside it
+// are possible (the BCSR property guarantees re-entry before any other
+// process gets in).
+func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		if _, crashed := e.(memory.ErrCrash); crashed {
+			ok = false
+			return
+		}
+		panic(e)
+	}()
+	m.Lock(pid)
+	cs()
+	m.Unlock(pid)
+	return true
+}
+
+// Crash simulates a failure of process pid at the current point — for use
+// inside a Passage critical section to model a crash while holding the
+// lock. It panics with the crash sentinel that Passage recovers.
+func Crash(pid int) {
+	panic(memory.ErrCrash{PID: pid})
+}
