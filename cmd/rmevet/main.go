@@ -1,0 +1,45 @@
+// Command rmevet mechanically enforces the shared-memory discipline the
+// RME algorithms (Dhoked & Mittal, PODC 2020) depend on:
+//
+//   - portdiscipline: algorithm packages touch shared memory only
+//     through memory.Port — no sync/atomic, unsafe, goroutines,
+//     channels, or package-level mutable state;
+//   - sensitive: every FAS/CAS carries an rme:sensitive or
+//     rme:nonsensitive(<why>) marker, and each file's
+//     rme:sensitive-instructions inventory matches (WR-Lock: exactly
+//     one, the FAS on tail — Definition 3.3);
+//   - spinloop: busy-wait loops re-read through the Port and contain a
+//     step gate (Port.Pause);
+//   - persistfield: persistent-state structs hold memory.Addr words,
+//     never raw Go pointers, maps, or channels that vanish on crash.
+//
+// Run it standalone:
+//
+//	go run rme/cmd/rmevet ./...
+//
+// or as a vet tool:
+//
+//	go build -o rmevet rme/cmd/rmevet
+//	go vet -vettool=./rmevet ./...
+package main
+
+import (
+	"rme/internal/analysis"
+	"rme/internal/analysis/driver"
+	"rme/internal/analysis/passes/persistfield"
+	"rme/internal/analysis/passes/portdiscipline"
+	"rme/internal/analysis/passes/sensitive"
+	"rme/internal/analysis/passes/spinloop"
+)
+
+// suite is the full analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	portdiscipline.Analyzer,
+	sensitive.Analyzer,
+	spinloop.Analyzer,
+	persistfield.Analyzer,
+}
+
+func main() {
+	driver.Main("rmevet", suite...)
+}

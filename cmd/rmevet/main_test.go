@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestSuiteRegistration pins the analyzer set: dropping a pass from the
+// suite would silently stop enforcing one of the four invariants.
+func TestSuiteRegistration(t *testing.T) {
+	want := []string{"portdiscipline", "sensitive", "spinloop", "persistfield"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, name := range want {
+		a := suite[i]
+		if a == nil {
+			t.Fatalf("suite[%d] is nil", i)
+		}
+		if a.Name != name {
+			t.Errorf("suite[%d].Name = %q, want %q", i, a.Name, name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}

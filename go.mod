@@ -1,3 +1,8 @@
+// No external dependencies, on purpose (see README "Stdlib only").
+// In particular cmd/rmevet does NOT require golang.org/x/tools: its
+// analyzers are built on the stdlib-only framework in internal/analysis,
+// which mirrors the x/tools go/analysis API so a future migration is an
+// import swap rather than a rewrite.
 module rme
 
 go 1.22

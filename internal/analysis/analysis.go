@@ -1,0 +1,60 @@
+// Package analysis is a minimal, self-contained reimplementation of the
+// core of golang.org/x/tools/go/analysis, shaped so that the rmevet
+// analyzers could be ported to the real framework by changing imports
+// only. The repository is stdlib-only by design (see README, "Stdlib
+// only"), so the x/tools module is deliberately not vendored; everything
+// the four rmevet analyzers need — a typed syntax view of one package and
+// a diagnostic sink — fits in this file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single package via
+// the Pass and reports findings through pass.Report; it returns an error
+// only for internal failures (a bad finding is a Diagnostic, not an
+// error).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags
+	// and rme:allow() suppression markers. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then details.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one package to an analyzer: its parsed files (with
+// comments), type information, and a diagnostic sink. A Pass is valid
+// only for the duration of the Run call it is passed to.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

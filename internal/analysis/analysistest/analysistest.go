@@ -1,0 +1,239 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture trees
+// and checks its diagnostics against // want "regexp" comments, in the
+// manner of golang.org/x/tools/go/analysis/analysistest (self-contained
+// here because the repository is stdlib-only).
+//
+// Fixtures live under <dir>/src/<importpath>/*.go and may import one
+// another by import path; imports with no fixture directory resolve to an
+// empty synthesized package, so a fixture can carry a banned blank import
+// (e.g. _ "sync/atomic") without the loader needing a standard library.
+//
+// A want comment holds one or more quoted regular expressions:
+//
+//	p.FAS(a, v) // want "unmarked RMW" "second expectation"
+//
+// Each diagnostic must match an unconsumed expectation on its line, and
+// every expectation must be consumed.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rme/internal/analysis"
+)
+
+// TestData returns the canonical testdata directory of the calling
+// package: ./testdata.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package under dir/src, applies the analyzer, and
+// reports mismatches between diagnostics and want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgpaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", path, err)
+			continue
+		}
+		checkPackage(t, l.fset, a, pkg)
+	}
+}
+
+func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer returned error: %v", pkg.path, err)
+		return
+	}
+
+	wants := collectWants(t, fset, pkg.files)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants extracts the expectations of every file, keyed by
+// "filename:line".
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					var unquoted string
+					if q[0] == '`' {
+						unquoted = q[1 : len(q)-1]
+					} else {
+						var err error
+						unquoted, err = strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: bad want string %s: %v", posn, q, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, unquoted, err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+}
+
+func newLoader(root string) *loader {
+	return &loader{root: root, fset: token.NewFileSet(), pkgs: map[string]*fixturePkg{}}
+}
+
+// load parses and typechecks the fixture package at the import path,
+// resolving imports recursively within the fixture tree.
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	pkg := &fixturePkg{path: path, files: files, types: tpkg, info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves an import from within a fixture: a fixture package
+// if one exists, otherwise an empty synthesized package (sufficient for
+// blank imports of banned paths).
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	elems := strings.Split(path, "/")
+	p := types.NewPackage(path, elems[len(elems)-1])
+	p.MarkComplete()
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+var _ types.Importer = importerFunc(nil)

@@ -1,0 +1,213 @@
+// Package driver runs the rme analyzers over typechecked packages.
+//
+// It supports two invocation styles, mirroring the split in
+// golang.org/x/tools (which this repo deliberately does not depend on —
+// see the "Stdlib only" section of README.md):
+//
+//   - standalone: `rmevet ./...` loads packages itself via
+//     `go list -export -deps -json` and typechecks against the build
+//     cache's export data;
+//   - unitchecker: `go vet -vettool=$(which rmevet) ./...` invokes the
+//     binary once per package with a JSON *.cfg file describing the
+//     compilation unit, exactly like cmd/vet.
+//
+// Diagnostics are printed as "file:line:col: analyzer: message"; the
+// process exits 2 if any diagnostic was reported, 1 on operational
+// errors, 0 when clean.
+package driver
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"rme/internal/analysis"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Main implements the rmevet command line. It never returns.
+func Main(progname string, analyzers ...*analysis.Analyzer) {
+	args := os.Args[1:]
+
+	// `go vet` interrogates the tool before using it: -V=full must print
+	// a stable identity line, -flags the JSON list of supported flags.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Println(versionLine(progname))
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "help" || arg == "-help" || arg == "--help" || arg == "-h":
+			printHelp(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(Unitchecker(args[0], analyzers))
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := Standalone(args, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func printHelp(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Printf("%s: static checks for the rme shared-memory discipline\n\n", progname)
+	fmt.Printf("Usage: %s [package pattern ...]\n", progname)
+	fmt.Printf("   or: go vet -vettool=$(which %s) ./...\n\nRegistered analyzers:\n\n", progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-15s %s\n", a.Name, doc)
+	}
+}
+
+// versionLine builds the `-V=full` identity line. cmd/go hashes this
+// into its build cache key, so it must change whenever the binary does:
+// we use the executable's content hash, like x/tools' unitchecker.
+func versionLine(progname string) string {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version devel comments-go-here buildID=%s", progname, id)
+}
+
+// checkPackage parses and typechecks one compilation unit and runs every
+// analyzer over it. lookup resolves an import path to its gc export
+// data (see exportLookup).
+func checkPackage(importPath string, filenames []string, lookup func(string) (io.ReadCloser, error), goVersion string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", build()),
+		Error:    func(error) {}, // collect via returned error only
+	}
+	if goVersion != "" {
+		conf.GoVersion = goVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(d.Pos),
+				Analyzer: name,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, importPath, err)
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func build() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// exportLookup adapts an importPath→exportfile map (plus an optional
+// importPath→importPath vendor map) into the lookup function consumed by
+// importer.ForCompiler.
+func exportLookup(importMap, packageFile map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := packageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}

@@ -1,0 +1,158 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/driver"
+	"rme/internal/analysis/passes/persistfield"
+	"rme/internal/analysis/passes/portdiscipline"
+	"rme/internal/analysis/passes/sensitive"
+	"rme/internal/analysis/passes/spinloop"
+)
+
+var suite = []*analysis.Analyzer{
+	portdiscipline.Analyzer,
+	sensitive.Analyzer,
+	spinloop.Analyzer,
+	persistfield.Analyzer,
+}
+
+func needGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go command not available: %v", err)
+	}
+}
+
+// TestRepoIsClean is the self-enforcement gate: the committed algorithm
+// packages must satisfy all four invariants. A regression here means a
+// new RMW lost its marker, a spin loop lost its Pause, or similar.
+func TestRepoIsClean(t *testing.T) {
+	needGo(t)
+	diags, err := driver.Standalone([]string{"rme/..."}, suite)
+	if err != nil {
+		t.Fatalf("standalone driver: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestVettoolProtocol builds the rmevet binary and runs it the way CI
+// does: go vet -vettool=rmevet. This exercises the -V=full handshake,
+// the *.cfg unit-checker mode, and the .vetx facts plumbing.
+func TestVettoolProtocol(t *testing.T) {
+	needGo(t)
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short mode")
+	}
+	tool := filepath.Join(t.TempDir(), "rmevet")
+	build := exec.Command("go", "build", "-o", tool, "rme/cmd/rmevet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rmevet: %v\n%s", err, out)
+	}
+
+	version := exec.Command(tool, "-V=full")
+	out, err := version.Output()
+	if err != nil {
+		t.Fatalf("rmevet -V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "rmevet version ") {
+		t.Fatalf("rmevet -V=full = %q, want 'rmevet version ...' line", out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "rme/...")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=rmevet rme/...: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneReportsViolations feeds the driver a package that
+// breaks the discipline and checks the diagnostics surface with
+// positions, analyzer names, and stable ordering.
+func TestStandaloneReportsViolations(t *testing.T) {
+	needGo(t)
+	// The fixture must live inside an algorithm package path or every
+	// pass would ignore it, so fabricate a throwaway module overlaying
+	// rme/internal/grlock.
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module rme\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "memory", "memory.go"), fakeMemory)
+	writeFile(t, filepath.Join(dir, "internal", "grlock", "bad.go"), badGrlock)
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	diags, err := driver.Standalone([]string{"rme/internal/grlock"}, suite)
+	if err != nil {
+		t.Fatalf("standalone driver: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer)
+	}
+	want := map[string]bool{"portdiscipline": true, "sensitive": true}
+	for name := range want {
+		found := false
+		for _, g := range got {
+			if g == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic reported; got %v", name, got)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const fakeMemory = `package memory
+
+type Word = uint64
+
+type Addr int64
+
+type Port interface {
+	Read(a Addr) Word
+	Write(a Addr, v Word)
+	FAS(a Addr, v Word) Word
+	CAS(a Addr, old, new Word) bool
+	Pause()
+}
+`
+
+const badGrlock = `package grlock
+
+import (
+	_ "sync/atomic"
+
+	"rme/internal/memory"
+)
+
+var hits int
+
+func swap(p memory.Port, a memory.Addr) memory.Word {
+	hits++
+	return p.FAS(a, 1)
+}
+`

@@ -1,0 +1,104 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+
+	"rme/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the standalone
+// driver needs. Export is the package's compiled export-data file in the
+// build cache (present because we pass -export).
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Standalone loads the packages matching patterns with the go command
+// and runs the analyzers over each matched (non-dependency) package.
+// Dependencies are typechecked from build-cache export data, so the
+// repo must build (`go build ./...`) for rmevet to run standalone.
+func Standalone(patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	targets, exports, err := listPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var all []Diagnostic
+	for _, p := range targets {
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		diags, err := checkPackage(p.ImportPath, files, exportLookup(nil, exports), "", analyzers)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// listPackages shells out to `go list -e -export -deps -json` and
+// splits the result into analysis targets (the packages the patterns
+// matched) and an importPath→export-file map covering every dependency.
+func listPackages(patterns []string) ([]listedPackage, map[string]string, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	cmd.Stderr = nil
+	stderr := &prefixErr{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v", err)
+	}
+
+	var targets []listedPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.buf)
+	}
+	return targets, exports, nil
+}
+
+type prefixErr struct{ buf []byte }
+
+func (w *prefixErr) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}

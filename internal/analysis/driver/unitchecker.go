@@ -1,0 +1,75 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rme/internal/analysis"
+)
+
+// vetConfig mirrors the JSON config file cmd/go writes for vet tools
+// (x/tools calls the same shape unitchecker.Config). Fields we do not
+// consume are still listed so the decoder accepts them by name.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker analyzes the single compilation unit described by the
+// *.cfg file that `go vet -vettool=rmevet` hands us, returning the
+// process exit code. Facts are not used by any rme analyzer, so the
+// .vetx output demanded by cmd/go is written empty.
+func Unitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmevet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rmevet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go insists the facts file exists even though we export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "rmevet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := checkPackage(cfg.ImportPath, cfg.GoFiles,
+		exportLookup(cfg.ImportMap, cfg.PackageFile), cfg.GoVersion, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rmevet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+// Package persistfield polices the boundary between persistent and
+// volatile state in lock structs. In the paper's model only shared memory
+// (NVRAM, our word arena) survives a crash; whatever a lock struct holds
+// in ordinary Go memory must therefore be immutable wiring fixed at
+// construction time, never state a passage depends on. In algorithm
+// packages (test files exempt) the pass reports:
+//
+//   - on any struct that holds persistent state (at least one field
+//     reaching a memory.Addr): fields whose types cannot be legitimate
+//     construction-time wiring — channels, maps, uintptr,
+//     unsafe.Pointer, and raw Go pointers to anything other than another
+//     algorithm-package lock struct. Persistent references must be
+//     memory.Addr words stored in the arena;
+//   - stores to fields of algorithm-package structs from inside passage
+//     code (any function or closure with a memory.Port parameter):
+//     such writes live in Go memory, vanish on crash, and are invisible
+//     to the RMR models. Mutable per-process state belongs in the arena.
+package persistfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "persistfield"
+
+// Analyzer is the persistfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "require persistent lock state to live in the arena as memory.Addr words\n\n" +
+		"Forbids volatile field types on persistent structs and stores to struct\n" +
+		"fields from passage code.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+		report := func(pos token.Pos, format string, args ...interface{}) {
+			if markers.Allowed(name, pass.Fset.Position(pos).Line) {
+				return
+			}
+			pass.Reportf(pos, format, args...)
+		}
+		checkStructs(pass, file, report)
+		checkStores(pass, file, report)
+	}
+	return nil
+}
+
+type reporter func(pos token.Pos, format string, args ...interface{})
+
+// checkStructs validates the field types of persistent structs.
+func checkStructs(pass *analysis.Pass, file *ast.File, report reporter) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[ts.Type]
+		if !ok {
+			if def := pass.TypesInfo.Defs[ts.Name]; def != nil {
+				tv.Type = def.Type()
+			}
+		}
+		if tv.Type == nil || !rmeutil.IsAddrType(tv.Type) {
+			return true // no persistent state in this struct
+		}
+		for _, field := range st.Fields.List {
+			ftv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok || ftv.Type == nil {
+				continue
+			}
+			if why := volatileReason(ftv.Type); why != "" {
+				name := ""
+				if len(field.Names) > 0 {
+					name = field.Names[0].Name + " "
+				}
+				report(field.Pos(), "persistent struct %s holds field %sof type %s: %s",
+					ts.Name.Name, name, ftv.Type.String(), why)
+			}
+		}
+		return true
+	})
+}
+
+// volatileReason explains why a field type may not appear on a struct
+// holding persistent state, or returns "" if it is acceptable wiring.
+// Slices and arrays are checked elementwise (they serve as fixed,
+// construction-time tables of Addr words or sub-locks).
+func volatileReason(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return "channels are volatile Go state; cross-process signalling must go through arena words"
+	case *types.Map:
+		return "maps are volatile Go state; persistent tables must be arena words indexed by process"
+	case *types.Basic:
+		if u.Kind() == types.Uintptr || u.Kind() == types.UnsafePointer {
+			return "raw machine pointers vanish on crash; store a memory.Addr instead"
+		}
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && rmeutil.IsAlgorithmPackage(pkg.Path()) {
+				return "" // immutable composition: a sub-lock built at construction time
+			}
+		}
+		return "raw Go pointers vanish on crash and are invisible to RMR accounting; persistent references must be memory.Addr words"
+	case *types.Slice:
+		return volatileReason(u.Elem())
+	case *types.Array:
+		return volatileReason(u.Elem())
+	}
+	return ""
+}
+
+// checkStores reports assignments to algorithm-struct fields from passage
+// code: any statement lexically inside a function or closure that
+// receives a memory.Port (including closures nested in one).
+func checkStores(pass *analysis.Pass, file *ast.File, report reporter) {
+	type span struct {
+		from, to token.Pos
+		port     bool
+	}
+	var funcs []span
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				funcs = append(funcs, span{n.Body.Pos(), n.Body.End(),
+					hasPortParam(pass.TypesInfo, n.Type)})
+			}
+		case *ast.FuncLit:
+			funcs = append(funcs, span{n.Body.Pos(), n.Body.End(),
+				hasPortParam(pass.TypesInfo, n.Type)})
+		}
+		return true
+	})
+	inPassage := func(p token.Pos) bool {
+		for _, s := range funcs {
+			if s.port && s.from <= p && p < s.to {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if inPassage(n.Pos()) {
+				for _, lhs := range n.Lhs {
+					checkFieldStore(pass, lhs, report)
+				}
+			}
+		case *ast.IncDecStmt:
+			if inPassage(n.Pos()) {
+				checkFieldStore(pass, n.X, report)
+			}
+		}
+		return true
+	})
+}
+
+// hasPortParam reports whether the function type has a memory.Port
+// parameter — the signature of code executed during a passage.
+func hasPortParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == rmeutil.MemoryPath && obj.Name() == "Port" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFieldStore reports lhs if it stores to a field of a struct type
+// declared in an algorithm package.
+func checkFieldStore(pass *analysis.Pass, lhs ast.Expr, report reporter) {
+	// Unwrap index expressions: l.state[i] = v stores through the field
+	// l.state, which is construction-time wiring of arena addresses —
+	// but storing a new slice element is still a Go-memory write, so it
+	// is reported all the same.
+	expr := lhs
+	for {
+		if idx, ok := expr.(*ast.IndexExpr); ok {
+			expr = idx.X
+			continue
+		}
+		if par, ok := expr.(*ast.ParenExpr); ok {
+			expr = par.X
+			continue
+		}
+		break
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field := selection.Obj()
+	if field.Pkg() == nil || !rmeutil.IsAlgorithmPackage(field.Pkg().Path()) {
+		return
+	}
+	report(lhs.Pos(),
+		"store to %s.%s inside passage code: Go-memory writes vanish on crash and are invisible to RMR accounting; keep mutable state in the arena via the Port",
+		recvTypeName(selection), field.Name())
+}
+
+func recvTypeName(selection *types.Selection) string {
+	t := selection.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

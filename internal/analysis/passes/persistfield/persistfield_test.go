@@ -1,0 +1,13 @@
+package persistfield_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/persistfield"
+)
+
+func TestPersistField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), persistfield.Analyzer,
+		"rme/internal/bakery")
+}

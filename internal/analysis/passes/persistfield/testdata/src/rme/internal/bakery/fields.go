@@ -1,0 +1,62 @@
+package bakery
+
+import "rme/internal/memory"
+
+// Lock holds persistent state (arena addresses), so every other field
+// must be construction-time wiring.
+type Lock struct {
+	n     int           // immutable configuration: fine
+	name  string        // fine
+	state []memory.Addr // persistent state handle: fine
+	sub   *Helper       // composition with another algorithm struct: fine
+
+	cache map[int]uint64 // want `maps are volatile Go state`
+	wake  chan int       // want `channels are volatile Go state`
+	raw   *int           // want `raw Go pointers vanish on crash`
+	addr  uintptr        // want `raw machine pointers vanish on crash`
+}
+
+// Helper is a sub-lock; a pointer to it is legitimate wiring.
+type Helper struct {
+	turn memory.Addr
+}
+
+// volatileOnly has no arena state at all, so its pointer field is not a
+// persistence hazard (it is plain Go plumbing).
+type volatileOnly struct {
+	raw *int
+	fn  func() int
+}
+
+// New may wire fields freely: it runs before any passage.
+func New(sp memory.Space, n int) *Lock {
+	l := &Lock{n: n, state: make([]memory.Addr, n)}
+	for i := 0; i < n; i++ {
+		l.state[i] = sp.Alloc(1, i)
+	}
+	return l
+}
+
+// Enter is passage code: field stores are volatile and forbidden.
+func (l *Lock) Enter(p memory.Port) {
+	l.n = 7        // want `store to Lock.n inside passage code`
+	l.state[0] = 3 // want `store to Lock.state inside passage code`
+	p.Write(l.state[0], 1)
+}
+
+// hook returns a closure that is passage code by signature.
+func (l *Lock) hook() func(memory.Port) {
+	return func(p memory.Port) {
+		l.n++ // want `store to Lock.n inside passage code`
+	}
+}
+
+// snapshot takes no Port: it is diagnostic code, free to use Go memory.
+func (l *Lock) snapshot() {
+	l.n = l.n + 0
+}
+
+// waived demonstrates the explicit escape hatch.
+func (l *Lock) waived(p memory.Port) {
+	l.n = 8 // rme:allow(persistfield: fixture demonstrating suppression)
+}

@@ -1,0 +1,27 @@
+package grlock
+
+import (
+	_ "sync/atomic" // want `algorithm package imports "sync/atomic"`
+	_ "unsafe"      // want `algorithm package imports "unsafe"`
+
+	"rme/internal/memory"
+)
+
+var hits int // want `package-level mutable state "hits"`
+
+var _ = memory.Nil // blank identifier: allowed (compile-time assertion)
+
+func leak(p memory.Port, a memory.Addr) {
+	go func() { // want `goroutine in algorithm code`
+		p.Write(a, 1)
+	}()
+	var ch chan int // want `channel type in algorithm code`
+	ch <- 1         // want `channel send in algorithm code`
+	<-ch            // want `channel receive in algorithm code`
+	select {}       // want `select in algorithm code`
+}
+
+func allowed(p memory.Port, a memory.Addr) {
+	var ok chan int // rme:allow(portdiscipline: fixture demonstrating suppression)
+	_ = ok
+}

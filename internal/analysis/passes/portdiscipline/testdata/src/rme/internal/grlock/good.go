@@ -1,0 +1,10 @@
+package grlock
+
+import "rme/internal/memory"
+
+// next is a per-node offset helper: constants and pure functions are fine.
+const offNext = 1
+
+func link(p memory.Port, node memory.Addr) {
+	p.CAS(node+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node))
+}

@@ -1,0 +1,11 @@
+// Package outside is not an algorithm package: the discipline does not
+// apply, so none of these constructs are reported.
+package outside
+
+import _ "sync/atomic"
+
+var counter int
+
+func spawn(done chan int) {
+	go func() { done <- counter }()
+}

@@ -1,0 +1,122 @@
+// Package sensitive enforces the paper's sensitive-instruction accounting
+// (Definition 3.3). In weakly recoverable code a crash immediately after a
+// read-modify-write may strand its effect where other processes can see
+// it; the paper's central claim is that WR-Lock has exactly one such
+// instruction (the FAS on tail, Section 4.3), and every other RMW is
+// idempotent by construction. This pass makes that inventory mechanical:
+//
+//   - every FAS or CAS issued through a memory.Port in an algorithm
+//     package must carry an rme:sensitive or rme:nonsensitive(<why>)
+//     marker comment on its line or the line above;
+//   - a marker must be attached to an RMW (stale markers rot);
+//   - every file containing at least one RMW must declare its inventory
+//     with rme:sensitive-instructions <n>, and the number of
+//     rme:sensitive markers in the file must equal n (wrlock.go: 1;
+//     every other algorithm file: 0).
+//
+// Test files are exempt.
+package sensitive
+
+import (
+	"go/ast"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "sensitive"
+
+// Analyzer is the sensitive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "require rme:sensitive / rme:nonsensitive markers on every RMW Port call\n\n" +
+		"and check each file's rme:sensitive-instructions inventory declaration\n" +
+		"against the markers it contains (Definition 3.3 of the paper).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+
+		// Marker syntax is validated here (and only here, so a typo is
+		// reported once across the suite).
+		for _, m := range markers.All {
+			if m.Kind == rmeutil.KindInvalid {
+				pass.Reportf(m.Pos, "invalid rme: marker: %s", m.Err)
+			}
+		}
+
+		// Collect the lines holding RMW instructions.
+		rmwLines := map[int]bool{}
+		var rmws []*ast.CallExpr
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && rmeutil.IsRMW(pass.TypesInfo, call) {
+				rmws = append(rmws, call)
+				rmwLines[pass.Fset.Position(call.Pos()).Line] = true
+			}
+			return true
+		})
+
+		// Every RMW carries a marker.
+		sensitiveCount := 0
+		counted := map[int]bool{} // marker lines already credited
+		for _, call := range rmws {
+			line := pass.Fset.Position(call.Pos()).Line
+			m, ok := markers.AttachedTo(line, func(l int) bool { return rmwLines[l] })
+			if !ok {
+				if !markers.Allowed(name, line) {
+					pass.Reportf(call.Pos(),
+						"unmarked RMW through memory.Port: annotate with rme:sensitive or rme:nonsensitive(<why>) (Definition 3.3)")
+				}
+				continue
+			}
+			if m.Kind == rmeutil.KindSensitive && !counted[m.Line] {
+				counted[m.Line] = true
+				sensitiveCount++
+			}
+		}
+
+		// Every sensitive/nonsensitive marker is attached to an RMW.
+		for _, m := range markers.All {
+			if m.Kind != rmeutil.KindSensitive && m.Kind != rmeutil.KindNonsensitive {
+				continue
+			}
+			if !rmwLines[m.Line] && !rmwLines[m.Line+1] {
+				pass.Reportf(m.Pos,
+					"stale marker: no FAS or CAS through a memory.Port on this line or the next")
+			}
+		}
+
+		// Inventory declaration.
+		var decls []rmeutil.Marker
+		for _, m := range markers.All {
+			if m.Kind == rmeutil.KindInventory {
+				decls = append(decls, m)
+			}
+		}
+		switch {
+		case len(decls) == 0:
+			if len(rmws) > 0 && !markers.Allowed(name, pass.Fset.Position(file.Name.Pos()).Line) {
+				pass.Reportf(file.Name.Pos(),
+					"file contains %d RMW instruction(s) but no rme:sensitive-instructions <n> declaration", len(rmws))
+			}
+		case len(decls) > 1:
+			pass.Reportf(decls[1].Pos, "duplicate rme:sensitive-instructions declaration")
+		default:
+			if decls[0].Count != sensitiveCount {
+				pass.Reportf(decls[0].Pos,
+					"file declares %d sensitive instruction(s) but carries %d rme:sensitive marker(s)",
+					decls[0].Count, sensitiveCount)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package sensitive_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/sensitive"
+)
+
+func TestSensitive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sensitive.Analyzer,
+		"rme/internal/core", "rme/internal/mcs")
+}

@@ -1,0 +1,13 @@
+// rme:sensitive-instructions 1
+package core
+
+import "rme/internal/memory"
+
+// enter mirrors WR-Lock's Enter: the FAS on tail is the one sensitive
+// instruction; the link CAS is idempotent and so marked nonsensitive.
+func enter(p memory.Port, tail, pred, next memory.Addr) {
+	temp := p.FAS(tail, 1) // rme:sensitive
+	p.Write(pred, temp)
+	// rme:nonsensitive(outcome ignored; the field is re-read, Section 4.3)
+	p.CAS(next, 0, 1)
+}

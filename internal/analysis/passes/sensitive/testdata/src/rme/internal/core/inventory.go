@@ -1,0 +1,11 @@
+// rme:sensitive-instructions 2 // want `file declares 2 sensitive instruction\(s\) but carries 1 rme:sensitive marker\(s\)`
+package core
+
+import "rme/internal/memory"
+
+// stale marker below: no RMW on its line or the next.
+// rme:sensitive // want `stale marker: no FAS or CAS`
+func inventory(p memory.Port, tail memory.Addr) {
+	p.FAS(tail, 1)    // rme:sensitive
+	p.CAS(tail, 1, 0) // rme:nonsensitive // want `invalid rme: marker: rme:nonsensitive requires a justification` `unmarked RMW through memory.Port`
+}

@@ -1,0 +1,12 @@
+package core // want `file contains 3 RMW instruction\(s\) but no rme:sensitive-instructions`
+
+import "rme/internal/memory"
+
+func unmarked(p memory.Port, tail memory.Addr) {
+	p.FAS(tail, 1)    // want `unmarked RMW through memory.Port`
+	p.CAS(tail, 1, 2) // want `unmarked RMW through memory.Port`
+}
+
+func suppressed(p memory.Port, tail memory.Addr) {
+	p.FAS(tail, 1) // rme:allow(sensitive: fixture demonstrating suppression)
+}

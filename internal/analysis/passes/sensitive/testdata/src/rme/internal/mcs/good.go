@@ -1,0 +1,11 @@
+// Package mcs is a clean fixture: every RMW marked, inventory correct.
+//
+// rme:sensitive-instructions 0
+package mcs
+
+import "rme/internal/memory"
+
+func exit(p memory.Port, tail, node memory.Addr) {
+	// rme:nonsensitive(non-recoverable baseline; outcome re-read)
+	p.CAS(tail, memory.FromAddr(node), memory.FromAddr(memory.Nil))
+}

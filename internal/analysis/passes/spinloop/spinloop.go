@@ -1,0 +1,246 @@
+// Package spinloop keeps busy-wait loops honest about RMRs. The paper's
+// complexity claims count remote memory references per passage; a spin
+// loop that tests a value hoisted into a private variable instead of
+// re-reading shared memory through the Port silently drops those
+// references from the accounting (and, worse, can never observe the
+// awaited write — private copies are exactly what a crash erases). The
+// pass also requires the Port.Pause step-gate hint inside busy-wait
+// loops: the native backend yields the processor there, and its presence
+// marks the loop as a deliberate wait for the simulator's schedulers.
+//
+// In algorithm packages (test files exempt) it reports:
+//
+//   - a for-loop whose condition mentions a variable previously loaded
+//     from the Port, when neither the condition nor the body re-reads
+//     shared memory (the hoisted-spin lie);
+//   - a waiting loop — a conditional loop that re-reads shared memory in
+//     its condition but writes nothing, or an unconditional loop that
+//     only reads — with no Port.Pause inside;
+//   - an unconditional loop that pauses but never re-reads shared memory
+//     (a spin that can only be left by crash).
+package spinloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "spinloop"
+
+// Analyzer is the spinloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag busy-wait loops that spin on hoisted private copies of shared memory\n\n" +
+		"or that lack the Port.Pause step-gate hint, so CC/DSM RMR accounting\n" +
+		"stays exact.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, markers)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarkers) {
+	info := pass.TypesInfo
+	// Variables assigned (anywhere in the function) from an expression
+	// that reads shared memory, with the positions of those assignments.
+	loaded := map[*types.Var][]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		fromPort := false
+		for _, rhs := range as.Rhs {
+			if countPortOps(info, rhs, opRead) > 0 {
+				fromPort = true
+			}
+		}
+		if !fromPort {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if v := asVar(info, lhs); v != nil {
+				loaded[v] = append(loaded[v], as.Pos())
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if markers.Allowed(name, pass.Fset.Position(pos).Line) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		// The loop's per-iteration extent: body plus post statement.
+		iter := []ast.Node{fs.Body}
+		if fs.Post != nil {
+			iter = append(iter, fs.Post)
+		}
+		bodyReads, bodyWrites, bodyPause := 0, 0, 0
+		for _, part := range iter {
+			bodyReads += countPortOps(info, part, opRead)
+			bodyWrites += countPortOps(info, part, opWrite)
+			bodyPause += countPortOps(info, part, opPause)
+		}
+
+		if fs.Cond == nil {
+			switch {
+			case bodyReads > 0 && bodyWrites == 0 && bodyPause == 0:
+				report(fs.For, "read-only busy-wait loop without Port.Pause: add the step-gate hint so the native backend yields while spinning")
+			case bodyPause > 0 && bodyReads == 0:
+				report(fs.For, "busy-wait loop never re-reads shared memory: its exit condition is a private copy a crash would erase and RMR accounting cannot see")
+			}
+			return true
+		}
+
+		condReads := countPortOps(info, fs.Cond, opRead)
+		if condReads > 0 {
+			if bodyWrites == 0 && bodyPause == 0 {
+				report(fs.Cond.Pos(), "spin loop reads shared memory in its condition but has no Port.Pause: add the step-gate hint so the native backend yields while spinning")
+			}
+			return true
+		}
+
+		// No re-read in the condition: is it spinning on a hoisted load?
+		if bodyReads > 0 {
+			return true // the body re-reads shared memory; accounting is exact
+		}
+		for _, ident := range condIdents(fs.Cond) {
+			v := asVar(info, ident)
+			if v == nil {
+				continue
+			}
+			hoisted := false
+			for _, p := range loaded[v] {
+				if p < fs.Pos() {
+					hoisted = true
+				}
+			}
+			if !hoisted || reassignedWithin(info, iter, v) {
+				continue
+			}
+			report(fs.Cond.Pos(), "spin condition tests %q, a private copy of shared memory hoisted out of the loop: re-read through the Port so CC/DSM RMR accounting stays exact", ident.Name)
+			break
+		}
+		return true
+	})
+}
+
+// Port-operation classes.
+type opClass int
+
+const (
+	opRead  opClass = iota // Read, FAS, CAS: operations that observe shared memory
+	opWrite                // Write, FAS, CAS: operations that mutate shared memory
+	opPause                // Pause: the step-gate hint
+)
+
+var opMethods = map[opClass]map[string]bool{
+	opRead:  {"Read": true, "FAS": true, "CAS": true},
+	opWrite: {"Write": true, "FAS": true, "CAS": true},
+	opPause: {"Pause": true},
+}
+
+// countPortOps counts Port method calls of the given class under n.
+func countPortOps(info *types.Info, n ast.Node, class opClass) int {
+	count := 0
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := rmeutil.PortCall(info, call); ok && recv == "Port" && opMethods[class][method] {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// condIdents returns the identifiers mentioned in a loop condition.
+func condIdents(cond ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// Only the base of a selector is a candidate variable; the
+			// field name itself resolves elsewhere.
+			ast.Inspect(sel.X, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					out = append(out, id)
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// asVar resolves an expression to the variable it names, or nil.
+func asVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.ObjectOf(id); obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// reassignedWithin reports whether v is assigned inside any of the nodes.
+func reassignedWithin(info *types.Info, nodes []ast.Node, v *types.Var) bool {
+	found := false
+	for _, node := range nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if asVar(info, lhs) == v {
+						found = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if asVar(info, n.X) == v {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

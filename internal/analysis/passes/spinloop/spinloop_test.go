@@ -1,0 +1,13 @@
+package spinloop_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/spinloop"
+)
+
+func TestSpinLoop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spinloop.Analyzer,
+		"rme/internal/yalock")
+}

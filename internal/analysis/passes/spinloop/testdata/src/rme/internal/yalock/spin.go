@@ -1,0 +1,88 @@
+package yalock
+
+import "rme/internal/memory"
+
+// good spins: condition re-reads through the Port and the body pauses.
+func waitLocked(p memory.Port, a memory.Addr) {
+	for memory.AsBool(p.Read(a)) {
+		p.Pause()
+	}
+}
+
+// good: unconditional loop that re-reads in its body before breaking.
+func waitBody(p memory.Port, a memory.Addr) {
+	for {
+		if p.Read(a) == 0 {
+			break
+		}
+		p.Pause()
+	}
+}
+
+// good: CAS retry loop makes progress (writes), so no Pause is required.
+func casRetry(p memory.Port, tail memory.Addr) {
+	for {
+		cur := p.Read(tail)
+		if p.CAS(tail, cur, cur+1) {
+			return
+		}
+	}
+}
+
+// bad: the condition tests a private copy hoisted out of the loop.
+func hoisted(p memory.Port, a memory.Addr) {
+	v := p.Read(a)
+	for memory.AsBool(v) { // want `spin condition tests "v", a private copy of shared memory`
+		p.Pause()
+	}
+}
+
+// bad: spin re-reads but never pauses (native backend would burn CPU).
+func noPause(p memory.Port, a memory.Addr) {
+	for p.Read(a) != 0 { // want `spin loop reads shared memory in its condition but has no Port.Pause`
+	}
+}
+
+// bad: read-only unconditional wait without a Pause.
+func noPauseBody(p memory.Port, a memory.Addr) {
+	for { // want `read-only busy-wait loop without Port.Pause`
+		if p.Read(a) == 0 {
+			return
+		}
+	}
+}
+
+// bad: pauses forever on a stale private copy.
+func staleForever(p memory.Port, a memory.Addr) {
+	v := p.Read(a)
+	for { // want `busy-wait loop never re-reads shared memory`
+		if v == 0 {
+			return
+		}
+		p.Pause()
+	}
+}
+
+// good: the hoisted value is reassigned (re-read) inside the loop.
+func rereads(p memory.Port, a memory.Addr) {
+	v := p.Read(a)
+	for memory.AsBool(v) {
+		p.Pause()
+		v = p.Read(a)
+	}
+}
+
+// good: plain counted loop over private configuration is no spin.
+func counted(p memory.Port, a memory.Addr, n int) {
+	for j := 0; j < n; j++ {
+		p.Write(a, memory.Word(j))
+	}
+}
+
+// suppressed: explicit waiver.
+func waived(p memory.Port, a memory.Addr) {
+	v := p.Read(a)
+	for memory.AsBool(v) { // rme:allow(spinloop: fixture demonstrating suppression)
+		p.Pause()
+	}
+}

@@ -1,3 +1,7 @@
+// rme:sensitive-instructions 0 — strongly recoverable: every RMW below is
+// detectable or idempotent on re-execution, so none is sensitive in the
+// Definition 3.3 sense.
+//
 // Package arbtree provides the sub-logarithmic strongly recoverable base
 // lock used at the bottom of the paper's recursion: an arbitration tree of
 // degree Δ whose nodes are Δ-port strongly recoverable queue locks, in the
@@ -156,7 +160,7 @@ func (l *PortLock) append(p memory.Port, s int) {
 		cur := p.Read(l.tail)
 		p.Write(l.pred[s], cur)
 		p.Label("portlock:cas-tail")
-		if p.CAS(l.tail, cur, me) {
+		if p.CAS(l.tail, cur, me) { // rme:nonsensitive(pred is persisted before the CAS, so recovery can tell whether the enqueue took effect)
 			return
 		}
 	}
@@ -202,7 +206,7 @@ func (l *PortLock) waitTurn(p memory.Port, s int) {
 	// acquisition we actually queued behind — a late retry after the
 	// predecessor's port has been reused fails harmlessly. The outcome
 	// is ignored and the word re-read (Section 4.3's discipline).
-	p.CAS(l.next[pport], emptyOf(refSeq(prd)), me)
+	p.CAS(l.next[pport], emptyOf(refSeq(prd)), me) // rme:nonsensitive(outcome ignored and word re-read; era stamp makes stale retries fail harmlessly)
 	if p.Read(l.next[pport]) == me {
 		for p.Read(l.grant[s]) != mySeq {
 			p.Pause()
@@ -227,10 +231,10 @@ func (l *PortLock) finishExit(p memory.Port, s int) {
 	mySeq := p.Read(l.seq[s])
 	me := ref(s, mySeq)
 	// Detach if we are the last node; ignore the outcome (idempotent).
-	p.CAS(l.tail, me, 0)
+	p.CAS(l.tail, me, 0) // rme:nonsensitive(detach is idempotent; repeating after a crash is a no-op)
 	// Wait-free exit marker: a successor that has not linked yet will
 	// find it and take the lock without a grant.
-	p.CAS(l.next[s], emptyOf(mySeq), selfMark)
+	p.CAS(l.next[s], emptyOf(mySeq), selfMark) // rme:nonsensitive(succeeds at most once per sequence number; re-running it is a no-op)
 	if nxt := p.Read(l.next[s]); nxt != selfMark {
 		// The link exists: grant the successor by its own sequence
 		// number, making duplicate grants to later acquisitions inert.

@@ -1,3 +1,5 @@
+// rme:sensitive-instructions 0 — read/write only; no FAS or CAS in this file.
+//
 // Package bakery implements a strongly recoverable variant of Lamport's
 // bakery lock: an n-process mutual exclusion algorithm using only read and
 // write instructions, with Θ(n) RMRs per passage under the CC model.

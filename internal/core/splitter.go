@@ -1,3 +1,4 @@
+// rme:sensitive-instructions 0
 package core
 
 import "rme/internal/memory"
@@ -21,7 +22,7 @@ func NewSplitter(sp memory.Space) *Splitter {
 // the CAS outcome itself is deliberately unused so the step is idempotent
 // across failures.
 func (s *Splitter) Try(p memory.Port) {
-	p.CAS(s.owner, 0, memory.Word(p.PID()+1))
+	p.CAS(s.owner, 0, memory.Word(p.PID()+1)) // rme:nonsensitive(outcome unused; occupancy decided by a later Mine read)
 }
 
 // Mine reports whether the calling process currently occupies the fast

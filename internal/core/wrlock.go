@@ -1,3 +1,4 @@
+// rme:sensitive-instructions 1 — the FAS on tail (Definition 3.3).
 package core
 
 import (
@@ -122,7 +123,7 @@ func (l *WRLock) Enter(p memory.Port) {
 			// Append my node to the queue. This FAS is the single
 			// sensitive instruction of the algorithm.
 			p.Label(l.fasLabel)
-			temp := p.FAS(l.tail, memory.FromAddr(node))
+			temp := p.FAS(l.tail, memory.FromAddr(node)) // rme:sensitive
 			// Persist the result of the FAS.
 			p.Write(l.pred[i], temp)
 		}
@@ -132,7 +133,7 @@ func (l *WRLock) Enter(p memory.Port) {
 			// Create the link to the predecessor. The outcome of the
 			// CAS is deliberately ignored; the field is re-read so
 			// the step is idempotent across failures.
-			p.CAS(next(pred), memory.FromAddr(memory.Nil), memory.FromAddr(node))
+			p.CAS(next(pred), memory.FromAddr(memory.Nil), memory.FromAddr(node)) // rme:nonsensitive(outcome ignored and field re-read; idempotent across crashes)
 			if memory.AsAddr(p.Read(next(pred))) == node {
 				// Wait for the predecessor to complete.
 				for memory.AsBool(p.Read(locked(node))) {
@@ -155,10 +156,10 @@ func (l *WRLock) Exit(p memory.Port) {
 
 	// Remove my node from the queue if it has no successor. The outcome
 	// is ignored (idempotent; see Section 4.3).
-	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil))
+	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil)) // rme:nonsensitive(outcome ignored; repeating the CAS after a crash is a no-op)
 	// May have a successor: mark the next field with my own address so a
 	// late-linking successor learns the lock is free (wait-free signal).
-	p.CAS(next(node), memory.FromAddr(memory.Nil), memory.FromAddr(node))
+	p.CAS(next(node), memory.FromAddr(memory.Nil), memory.FromAddr(node)) // rme:nonsensitive(wait-free exit signal; succeeds at most once and re-running it is a no-op)
 
 	if nxt := memory.AsAddr(p.Read(next(node))); nxt != node {
 		// The link was already created; tell the successor to stop

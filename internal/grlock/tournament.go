@@ -1,3 +1,5 @@
+// rme:sensitive-instructions 0 — read/write only; no FAS or CAS in this file.
+//
 // Package grlock provides n-process strongly recoverable locks built by
 // arranging the dual-port arbitrator of internal/yalock in a binary
 // tournament tree, in the style of Golab and Ramaraju's n-process

@@ -1,3 +1,7 @@
+// rme:sensitive-instructions 0 — these locks are non-recoverable
+// baselines; sensitivity (Definition 3.3) is about crash recovery, which
+// they do not attempt, so every RMW is marked nonsensitive.
+//
 // Package mcs implements the classic Mellor-Crummey–Scott queue lock
 // (Section 4.1 of the paper) and its bounded-exit extension by Dvir and
 // Taubenfeld (Section 4.2) — the two *non-recoverable* locks the weakly
@@ -52,7 +56,7 @@ func (l *Lock) Enter(p memory.Port) {
 	p.Write(node+offNext, memory.FromAddr(memory.Nil))
 	p.Write(node+offLocked, memory.Bool(true))
 	p.Label("mcs:fas")
-	pred := memory.AsAddr(p.FAS(l.tail, memory.FromAddr(node)))
+	pred := memory.AsAddr(p.FAS(l.tail, memory.FromAddr(node))) // rme:nonsensitive(non-recoverable baseline; never run under failures)
 	if pred == memory.Nil {
 		return
 	}
@@ -67,7 +71,7 @@ func (l *Lock) Enter(p memory.Port) {
 // appears.
 func (l *Lock) Exit(p memory.Port) {
 	node := l.node[p.PID()]
-	if p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil)) {
+	if p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil)) { // rme:nonsensitive(non-recoverable baseline; never run under failures)
 		return
 	}
 	var nxt memory.Addr
@@ -115,11 +119,11 @@ func (l *BoundedExit) Enter(p memory.Port) {
 	p.Write(node+offNext, memory.FromAddr(memory.Nil))
 	p.Write(node+offLocked, memory.Bool(true))
 	p.Label("mcs-dt:fas")
-	pred := memory.AsAddr(p.FAS(l.tail, memory.FromAddr(node)))
+	pred := memory.AsAddr(p.FAS(l.tail, memory.FromAddr(node))) // rme:nonsensitive(non-recoverable baseline; never run under failures)
 	if pred == memory.Nil {
 		return
 	}
-	p.CAS(pred+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node))
+	p.CAS(pred+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node)) // rme:nonsensitive(non-recoverable baseline; outcome ignored and re-read)
 	if memory.AsAddr(p.Read(pred+offNext)) == node {
 		for memory.AsBool(p.Read(node + offLocked)) {
 			p.Pause()
@@ -132,8 +136,8 @@ func (l *BoundedExit) Enter(p memory.Port) {
 // Exit releases the lock in a bounded number of steps.
 func (l *BoundedExit) Exit(p memory.Port) {
 	node := memory.AsAddr(p.Read(l.mine[p.PID()]))
-	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil))
-	p.CAS(node+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node))
+	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil))       // rme:nonsensitive(non-recoverable baseline; detach outcome ignored)
+	p.CAS(node+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node)) // rme:nonsensitive(non-recoverable baseline; wait-free exit signal)
 	if nxt := memory.AsAddr(p.Read(node + offNext)); nxt != node {
 		p.Write(nxt+offLocked, memory.Bool(false))
 	}

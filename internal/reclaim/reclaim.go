@@ -1,3 +1,5 @@
+// rme:sensitive-instructions 0 — read/write only; no FAS or CAS in this file.
+//
 // Package reclaim implements the paper's memory-reclamation algorithm
 // (Section 7.2, Algorithm 4) for the queue nodes of the weakly recoverable
 // lock.

@@ -1,3 +1,5 @@
+// rme:sensitive-instructions 0 — read/write only; no FAS or CAS in this file.
+//
 // Package yalock implements the dual-port strongly recoverable 2-party
 // lock used as the arbitrator in the paper's framework (Section 5.1).
 //

@@ -164,6 +164,69 @@ func TestConcurrentWithInjectedFailures(t *testing.T) {
 	}
 }
 
+// TestRaceStress hammers the NativeArena-backed Mutex with many
+// processes, many passages, and a high crash rate. It exists to give the
+// race detector (CI runs it with -race -count=2) a dense interleaving to
+// chew on: every Port operation, recovery path, and failure hook fires
+// thousands of times under real goroutine contention.
+func TestRaceStress(t *testing.T) {
+	n := 8
+	passages := 400
+	maxInjected := int64(300)
+	if testing.Short() {
+		passages = 60
+		maxInjected = 40
+	}
+	var injected atomic.Int64
+	rngs := make([]*rand.Rand, n)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(int64(i) + 101))
+	}
+	fail := func(pid int) bool {
+		if injected.Load() >= maxInjected {
+			return false
+		}
+		if rngs[pid].Float64() < 0.01 {
+			injected.Add(1)
+			return true
+		}
+		return false
+	}
+	m, err := New(n, WithFailures(fail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter int
+	var inCS int32
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for k := 0; k < passages; k++ {
+				for !m.Passage(pid, func() {
+					if !atomic.CompareAndSwapInt32(&inCS, 0, 1) {
+						t.Error("two processes in the critical section")
+					}
+					counter++
+					atomic.StoreInt32(&inCS, 0)
+				}) {
+					// Crashed mid-acquisition: recover and retry.
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	inj := int(injected.Load())
+	if counter < n*passages || counter > n*passages+inj {
+		t.Fatalf("counter = %d, want in [%d, %d] (%d injected failures)",
+			counter, n*passages, n*passages+inj, inj)
+	}
+	if inj == 0 {
+		t.Fatal("no failures injected; the stress run must exercise recovery")
+	}
+}
+
 func TestCrashInsideCriticalSection(t *testing.T) {
 	m, err := New(2)
 	if err != nil {
