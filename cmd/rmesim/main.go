@@ -7,6 +7,16 @@
 //	rmesim -lock ba-log -n 16 -model cc -requests 5 -unsafe 4 -v
 //
 // The available locks are listed with -list.
+//
+// With -repro, rmesim instead replays a recorded violation artifact
+// (written by cmd/soak or cmd/rmesweep) bit-exactly through the serialized
+// scheduler and re-derives the check verdict:
+//
+//	rmesim -repro repro-wr-CC-seed17.json [-timeline]
+//
+// It exits 0 when the replay reproduces the artifact's recorded property
+// violation and 1 when the verdict diverges (the bug no longer reproduces,
+// or a different property fails).
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 
 	"rme/internal/check"
 	"rme/internal/memory"
+	"rme/internal/repro"
 	"rme/internal/sim"
 	"rme/internal/trace"
 	"rme/internal/workload"
@@ -36,8 +47,13 @@ func main() {
 		timeline = flag.Bool("timeline", false, "render an ASCII timeline of the run")
 		passages = flag.Bool("passages", false, "list every passage with its cost")
 		list     = flag.Bool("list", false, "list available locks and exit")
+		reproIn  = flag.String("repro", "", "replay a recorded violation artifact and re-check it")
 	)
 	flag.Parse()
+
+	if *reproIn != "" {
+		os.Exit(replayArtifact(*reproIn, *timeline))
+	}
 
 	if *list {
 		for _, name := range workload.Names() {
@@ -132,6 +148,48 @@ func main() {
 	if checkErr != nil {
 		os.Exit(1)
 	}
+}
+
+// replayArtifact replays a repro file and reports whether the recorded
+// verdict reproduces. Returns the process exit code.
+func replayArtifact(path string, timeline bool) int {
+	a, err := repro.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmesim: %v\n", err)
+		return 1
+	}
+	spec, err := workload.Lookup(a.Lock)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmesim: artifact lock: %v\n", err)
+		return 1
+	}
+	rr, err := repro.Replay(a, spec.New)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmesim: replay: %v\n", err)
+		return 1
+	}
+	fmt.Printf("artifact    %s\n", a)
+	if a.Note != "" {
+		fmt.Printf("note        %s\n", a.Note)
+	}
+	fmt.Printf("recorded    property=%s (%s)\n", a.Property, a.Violation)
+	fmt.Printf("replayed    steps=%d crashes=%d\n", rr.Result.Steps, rr.Result.CrashCount())
+	if timeline {
+		fmt.Println(trace.Timeline(rr.Result, 100))
+	}
+	if rr.Result.CrashCount() > 0 {
+		fmt.Print(trace.CrashTable(rr.Result))
+	}
+	if rr.Reproduced(a) {
+		fmt.Printf("verdict     REPRODUCED — %v\n", rr.CheckErr)
+		return 0
+	}
+	if rr.Property == "" {
+		fmt.Printf("verdict     NOT REPRODUCED — replay satisfied every property (stale artifact, or the bug is fixed)\n")
+	} else {
+		fmt.Printf("verdict     DIVERGED — replay violated %q instead of %q: %v\n", rr.Property, a.Property, rr.CheckErr)
+	}
+	return 1
 }
 
 func verdict(err error) string {

@@ -2,68 +2,150 @@
 // recoverable lock, both memory models, combined random + unsafe failure
 // adversaries, across many seeds. It prints only violations and a final
 // summary; CI-sized versions of the same sweeps live in the test suite.
+//
+// Every violation is captured as a deterministic repro artifact: the
+// failing configuration is re-run under a recording scheduler, shrunk by
+// delta debugging (internal/repro), and written to -out as a JSON file that
+// cmd/rmesim -repro replays bit-exactly. A violating campaign exits
+// non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"rme/internal/check"
 	"rme/internal/memory"
+	"rme/internal/repro"
 	"rme/internal/sim"
 	"rme/internal/workload"
 )
 
-func main() {
-	seeds := flag.Int("seeds", 100, "seeds per configuration")
-	n := flag.Int("n", 6, "processes")
-	requests := flag.Int("requests", 3, "requests per process")
-	flag.Parse()
+// campaign parameterizes one soak run; factored out of main so the
+// end-to-end repro pipeline is testable with fixture locks.
+type campaign struct {
+	seeds    int
+	n        int
+	requests int
+	outDir   string
+	specs    []workload.Spec
+	stdout   io.Writer
+}
 
+// plan builds the per-run adversary. Each run needs a fresh, identical
+// plan: the plans are stateful and consume the run's random stream.
+func (c *campaign) plan() sim.FailurePlan {
+	return sim.PlanSeq{
+		&sim.RandomFailures{Rate: 0.008, MaxPerProcess: 3, DuringPassage: true},
+		&sim.UnsafeBudget{Total: 3, Rate: 0.4, MaxPerProcess: 1},
+	}
+}
+
+func (c *campaign) config(model memory.Model, seed int64) sim.Config {
+	return sim.Config{N: c.n, Model: model, Requests: c.requests,
+		Seed: seed, Plan: c.plan(), CSOps: 3, MaxSteps: 30_000_000}
+}
+
+func strengthName(s workload.Strength) string {
+	if s == workload.Weak {
+		return repro.StrengthWeak
+	}
+	return repro.StrengthStrong
+}
+
+// report captures a violation as a shrunk, replayable artifact and returns
+// the file it was written to.
+func (c *campaign) report(spec workload.Spec, model memory.Model, seed int64, observed error) (string, error) {
+	art, _, err := repro.Record(repro.RunSpec{
+		Lock:       spec.Name,
+		Strength:   strengthName(spec.Strength),
+		BCSRMaxOps: 1 << 20,
+		Config:     c.config(model, seed),
+		Note:       fmt.Sprintf("soak %s/%v seed=%d: %v", spec.Name, model, seed, observed),
+	}, spec.New)
+	if err != nil {
+		return "", fmt.Errorf("recording repro: %w", err)
+	}
+	if art.Property == "" {
+		return "", fmt.Errorf("violation did not reproduce under the recording scheduler (non-deterministic plan?)")
+	}
+	art = repro.Shrink(art, spec.New)
+	name := fmt.Sprintf("repro-%s-%v-seed%d.json", spec.Name, model, seed)
+	path := filepath.Join(c.outDir, name)
+	if err := art.WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// run executes the campaign and returns (runs, violations).
+func (c *campaign) run() (int, int) {
 	runs, failures := 0, 0
-	for _, name := range workload.Names() {
-		spec, err := workload.Lookup(name)
-		if err != nil {
-			panic(err)
-		}
+	for _, spec := range c.specs {
 		if spec.Strength == workload.NonRecoverable {
 			continue
 		}
 		for _, model := range []memory.Model{memory.CC, memory.DSM} {
-			for seed := int64(0); seed < int64(*seeds); seed++ {
-				plan := sim.PlanSeq{
-					&sim.RandomFailures{Rate: 0.008, MaxPerProcess: 3, DuringPassage: true},
-					&sim.UnsafeBudget{Total: 3, Rate: 0.4, MaxPerProcess: 1},
-				}
-				r, err := sim.New(sim.Config{N: *n, Model: model, Requests: *requests,
-					Seed: seed, Plan: plan, CSOps: 3, MaxSteps: 30_000_000}, spec.New)
+			for seed := int64(0); seed < int64(c.seeds); seed++ {
+				r, err := sim.New(c.config(model, seed), spec.New)
 				if err != nil {
 					panic(err)
 				}
 				res, err := r.Run()
 				runs++
-				if err != nil {
-					failures++
-					fmt.Printf("FAIL %s/%v seed=%d: %v\n", name, model, seed, err)
-					continue
-				}
 				var cerr error
-				switch spec.Strength {
-				case workload.Strong:
+				switch {
+				case err != nil:
+					cerr = &check.Violation{Property: check.PropStarvation, Err: err}
+				case spec.Strength == workload.Strong:
 					cerr = check.Strong(res, 1<<20)
-				case workload.Weak:
+				default:
 					cerr = check.Weak(res)
 				}
-				if cerr != nil {
-					failures++
-					fmt.Printf("FAIL %s/%v seed=%d (%d crashes): %v\n", name, model, seed, res.CrashCount(), cerr)
+				if cerr == nil {
+					continue
 				}
+				failures++
+				fmt.Fprintf(c.stdout, "FAIL %s/%v seed=%d (%d crashes): %v\n",
+					spec.Name, model, seed, res.CrashCount(), cerr)
+				path, rerr := c.report(spec, model, seed, cerr)
+				if rerr != nil {
+					fmt.Fprintf(c.stdout, "  repro: %v\n", rerr)
+					continue
+				}
+				fmt.Fprintf(c.stdout, "  repro written to %s (replay: rmesim -repro %s)\n", path, path)
 			}
 		}
 	}
-	fmt.Printf("soak: %d runs, %d violations\n", runs, failures)
-	if failures > 0 {
+	fmt.Fprintf(c.stdout, "soak: %d runs, %d violations\n", runs, failures)
+	return runs, failures
+}
+
+func main() {
+	seeds := flag.Int("seeds", 100, "seeds per configuration")
+	n := flag.Int("n", 6, "processes")
+	requests := flag.Int("requests", 3, "requests per process")
+	out := flag.String("out", ".", "directory for shrunk repro artifacts")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(2)
+	}
+	var specs []workload.Spec
+	for _, name := range workload.Names() {
+		spec, err := workload.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		specs = append(specs, spec)
+	}
+	c := &campaign{seeds: *seeds, n: *n, requests: *requests,
+		outDir: *out, specs: specs, stdout: os.Stdout}
+	if _, failures := c.run(); failures > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rme/internal/check"
+	"rme/internal/memory"
+	"rme/internal/repro"
+	"rme/internal/sim"
+	"rme/internal/workload"
+)
+
+// brokenLock performs no synchronization; a campaign over it must detect
+// the mutual-exclusion violation and emit a replayable repro artifact.
+type brokenLock struct{ w memory.Addr }
+
+func newBroken(sp memory.Space, n int) sim.Lock {
+	return &brokenLock{w: sp.Alloc(1, memory.HomeNone)}
+}
+
+func (l *brokenLock) Recover(p memory.Port) {}
+func (l *brokenLock) Enter(p memory.Port)   { p.Read(l.w) }
+func (l *brokenLock) Exit(p memory.Port)    { p.Read(l.w) }
+
+// TestCampaignWritesShrunkReplayableRepro is the end-to-end acceptance
+// path: a seeded violation found by the soak campaign is recorded, shrunk,
+// written to disk, and the written artifact replays to the same verdict.
+func TestCampaignWritesShrunkReplayableRepro(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	c := &campaign{
+		seeds: 2, n: 4, requests: 2, outDir: dir, stdout: &out,
+		specs: []workload.Spec{{
+			Name:     "fixture-broken",
+			Strength: workload.Strong,
+			New:      newBroken,
+		}},
+	}
+	runs, violations := c.run()
+	if runs != 4 { // 2 seeds × 2 models
+		t.Fatalf("%d runs, want 4", runs)
+	}
+	if violations == 0 {
+		t.Fatalf("campaign missed the seeded violation; output:\n%s", out.String())
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "repro-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no repro artifact written; output:\n%s", out.String())
+	}
+	for _, path := range files {
+		art, err := repro.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if art.Property != check.PropMutualExclusion {
+			t.Fatalf("%s records property %q, want %q", path, art.Property, check.PropMutualExclusion)
+		}
+		if art.Lock != "fixture-broken" || art.Note == "" {
+			t.Fatalf("%s lost provenance: %s", path, art)
+		}
+		rr, err := repro.Replay(art, newBroken)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", path, err)
+		}
+		if !rr.Reproduced(art) {
+			t.Fatalf("%s: replay observed %q, artifact records %q", path, rr.Property, art.Property)
+		}
+	}
+	if !strings.Contains(out.String(), "repro written to") {
+		t.Fatalf("campaign did not announce the artifact; output:\n%s", out.String())
+	}
+}
+
+// TestCampaignCleanOnCorrectLocks: a budget-sized slice of the real
+// registry passes without emitting artifacts.
+func TestCampaignCleanOnCorrectLocks(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := workload.Lookup("wr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	c := &campaign{seeds: 3, n: 3, requests: 2, outDir: dir,
+		specs: []workload.Spec{spec}, stdout: &out}
+	runs, violations := c.run()
+	if runs != 6 || violations != 0 {
+		t.Fatalf("runs=%d violations=%d; output:\n%s", runs, violations, out.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("clean campaign wrote %d artifacts", len(entries))
+	}
+}

@@ -14,10 +14,54 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 
 	"rme/internal/sim"
 )
+
+// Property names for Violation classification. internal/repro stores the
+// violated property in its artifacts and Shrink preserves it, so the names
+// are part of the repro format and must stay stable.
+const (
+	PropMutualExclusion = "mutual-exclusion"
+	PropSatisfaction    = "satisfaction"
+	PropBCSR            = "bcsr"
+	PropResponsiveness  = "responsiveness"
+	// PropStarvation classifies a run that exhausted its step budget
+	// (livelock or starvation) rather than failing a history check.
+	PropStarvation = "starvation"
+)
+
+// Violation wraps a check failure with the stable name of the violated
+// property. The battery entry points (Strong, Weak) return Violations so
+// that harnesses can classify failures without parsing messages.
+type Violation struct {
+	Property string
+	Err      error
+}
+
+// Error implements error, prefixing the cause with the stable property
+// name so printed verdicts classify themselves.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("[%s] %s", v.Property, v.Err)
+}
+
+// Unwrap supports errors.Is/As chains.
+func (v *Violation) Unwrap() error { return v.Err }
+
+// Property returns the stable property name carried by err ("" for nil,
+// "unknown" for errors that are not Violations).
+func Property(err error) string {
+	if err == nil {
+		return ""
+	}
+	var v *Violation
+	if errors.As(err, &v) {
+		return v.Property
+	}
+	return "unknown"
+}
 
 // reqKey identifies one request (super-passage) of a process.
 type reqKey struct {
@@ -205,24 +249,32 @@ func FCFS(res *sim.Result, doorwayLabel string) error {
 	return nil
 }
 
-// Strong runs the full battery for strongly recoverable locks.
+// Strong runs the full battery for strongly recoverable locks. A failure
+// is returned as a *Violation naming the property.
 func Strong(res *sim.Result, bcsrMaxOps int64) error {
 	if err := MutualExclusion(res); err != nil {
-		return err
+		return &Violation{Property: PropMutualExclusion, Err: err}
 	}
 	if err := Satisfaction(res); err != nil {
-		return err
+		return &Violation{Property: PropSatisfaction, Err: err}
 	}
-	return BCSR(res, bcsrMaxOps)
+	if err := BCSR(res, bcsrMaxOps); err != nil {
+		return &Violation{Property: PropBCSR, Err: err}
+	}
+	return nil
 }
 
 // Weak runs the battery for weakly recoverable locks: starvation freedom
-// plus responsiveness in place of unconditional mutual exclusion.
+// plus responsiveness in place of unconditional mutual exclusion. A
+// failure is returned as a *Violation naming the property.
 func Weak(res *sim.Result) error {
 	if err := Satisfaction(res); err != nil {
-		return err
+		return &Violation{Property: PropSatisfaction, Err: err}
 	}
-	return Responsiveness(res)
+	if err := Responsiveness(res); err != nil {
+		return &Violation{Property: PropResponsiveness, Err: err}
+	}
+	return nil
 }
 
 // MaxDepth returns the deepest BA-Lock level any passage escalated to,

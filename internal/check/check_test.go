@@ -1,6 +1,8 @@
 package check
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -207,5 +209,41 @@ func TestSegmentBounds(t *testing.T) {
 	res2 := mustRun(t, sim.Config{N: 2, Model: memory.CC, Requests: 1, Seed: 1}, wr)
 	if err := SegmentBounds(res2, 100, 100); err == nil {
 		t.Fatal("accepted a history without RecordOps")
+	}
+}
+
+func TestViolationPropertyNames(t *testing.T) {
+	if got := Property(nil); got != "" {
+		t.Fatalf("Property(nil) = %q", got)
+	}
+	v := &Violation{Property: PropMutualExclusion, Err: errors.New("overlap at step 7")}
+	if !strings.Contains(v.Error(), PropMutualExclusion) || !strings.Contains(v.Error(), "overlap") {
+		t.Fatalf("Violation message: %q", v.Error())
+	}
+	if got := Property(fmt.Errorf("wrapped: %w", error(v))); got != PropMutualExclusion {
+		t.Fatalf("Property(wrapped violation) = %q", got)
+	}
+	if got := Property(errors.New("anonymous failure")); got != "unknown" {
+		t.Fatalf("Property(plain error) = %q", got)
+	}
+	if !errors.Is(v, v.Err) && errors.Unwrap(v) != v.Err {
+		t.Fatal("Violation does not unwrap to its cause")
+	}
+}
+
+// TestBatteriesNameViolatedProperty: the strong battery tags failures with
+// the machine-readable property the repro subsystem keys on.
+func TestBatteriesNameViolatedProperty(t *testing.T) {
+	res := mustRun(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 11}, noLockFactory)
+	err := Strong(res, 1<<20)
+	if err == nil {
+		t.Fatal("strong battery passed a broken lock")
+	}
+	if got := Property(err); got != PropMutualExclusion && got != PropResponsiveness {
+		t.Fatalf("violated property %q not named", got)
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("battery error %T is not a *Violation", err)
 	}
 }

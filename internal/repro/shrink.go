@@ -1,0 +1,125 @@
+package repro
+
+import "rme/internal/sim"
+
+// Shrink delta-debugs an artifact: it searches for strictly smaller
+// variants (fewer crash points, a shorter schedule-decision prefix, fewer
+// processes, fewer requests) whose replay still violates the same property,
+// and returns the smallest one found. The input artifact is not modified;
+// if nothing smaller reproduces, the result is the input itself.
+//
+// Shrinking is deterministic: candidate order is fixed and each candidate
+// is judged by a deterministic replay, so a given artifact always shrinks
+// to the same variant.
+func Shrink(a *Artifact, factory sim.Factory) *Artifact {
+	if a.Property == "" {
+		return a
+	}
+	best := a
+	reproduces := func(cand *Artifact) bool {
+		rr, err := Replay(cand, factory)
+		return err == nil && rr.Property == a.Property
+	}
+
+	const maxRounds = 24
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for _, gen := range []func(*Artifact) []*Artifact{
+			dropCrashCandidates,
+			requestCandidates,
+			processCandidates,
+			decisionCandidates,
+		} {
+			for _, cand := range gen(best) {
+				if cand.Cost() < best.Cost() && reproduces(cand) {
+					best = cand
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+func clone(a *Artifact) *Artifact {
+	c := *a
+	c.Decisions = append([]int32{}, a.Decisions...)
+	c.Crashes = append([]sim.CrashPoint{}, a.Crashes...)
+	return &c
+}
+
+// dropCrashCandidates removes halves first (classic ddmin step), then
+// single points.
+func dropCrashCandidates(a *Artifact) []*Artifact {
+	n := len(a.Crashes)
+	if n == 0 {
+		return nil
+	}
+	var out []*Artifact
+	if n > 1 {
+		half := clone(a)
+		half.Crashes = half.Crashes[:n/2]
+		out = append(out, half)
+		other := clone(a)
+		other.Crashes = other.Crashes[n/2:]
+		out = append(out, other)
+	}
+	for i := 0; i < n; i++ {
+		c := clone(a)
+		c.Crashes = append(c.Crashes[:i], c.Crashes[i+1:]...)
+		out = append(out, c)
+	}
+	return out
+}
+
+func requestCandidates(a *Artifact) []*Artifact {
+	var out []*Artifact
+	for _, r := range []int{1, a.Requests / 2, a.Requests - 1} {
+		if r >= 1 && r < a.Requests {
+			c := clone(a)
+			c.Requests = r
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func processCandidates(a *Artifact) []*Artifact {
+	minN := 1
+	for _, cp := range a.Crashes {
+		if cp.PID+1 > minN {
+			minN = cp.PID + 1
+		}
+	}
+	var out []*Artifact
+	for _, n := range []int{minN, a.N / 2, a.N - 1} {
+		if n >= minN && n >= 1 && n < a.N {
+			c := clone(a)
+			c.N = n
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// decisionCandidates truncates the recorded schedule to a prefix; the
+// replay scheduler falls back to the seeded random scheduler beyond it.
+func decisionCandidates(a *Artifact) []*Artifact {
+	n := len(a.Decisions)
+	if n == 0 {
+		return nil
+	}
+	var out []*Artifact
+	for _, keep := range []int{0, n / 4, n / 2, 3 * n / 4, n - 1} {
+		if keep >= 0 && keep < n {
+			c := clone(a)
+			c.Decisions = c.Decisions[:keep]
+			out = append(out, c)
+		}
+	}
+	return out
+}

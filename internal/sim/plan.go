@@ -85,6 +85,49 @@ func (p *CrashAtOp) Crash(ctx StepCtx) bool {
 // Observe implements FailurePlan.
 func (p *CrashAtOp) Observe(StepCtx) {}
 
+// CrashPoint deterministically names one crash placement: process PID
+// fails at the rendezvous immediately before its OpIndex-th instruction
+// (counting executed instructions from zero; a crashed instruction is never
+// executed and so never counted). Because crashes are only injected at
+// instruction rendezvous, every crash any plan can produce — including
+// "immediately after the sensitive FAS", which is the placement before the
+// next instruction — is expressible as a CrashPoint.
+type CrashPoint struct {
+	PID     int
+	OpIndex int64
+}
+
+// CrashSet is the fully deterministic failure plan used by the crash-sweep
+// planner and by repro replay: it injects exactly the given crash points,
+// each once, and consumes no randomness. Points may share a PID (the
+// process crashes, restarts, and crashes again when its instruction count
+// reaches the later point).
+type CrashSet struct {
+	Points []CrashPoint
+
+	fired []bool
+}
+
+// Crash implements FailurePlan.
+func (c *CrashSet) Crash(ctx StepCtx) bool {
+	if !ctx.IsOp {
+		return false
+	}
+	if c.fired == nil {
+		c.fired = make([]bool, len(c.Points))
+	}
+	for i, pt := range c.Points {
+		if !c.fired[i] && pt.PID == ctx.PID && pt.OpIndex == ctx.OpIndex {
+			c.fired[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Observe implements FailurePlan.
+func (*CrashSet) Observe(StepCtx) {}
+
 // CrashOnLabel crashes process PID at the Occurrence-th (from zero)
 // instruction carrying Label. With After set, the crash is deferred to the
 // process's next rendezvous, i.e. the process fails immediately after

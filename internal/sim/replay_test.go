@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rme/internal/memory"
+)
+
+// TestRecordReplayBitExact is the determinism contract the repro subsystem
+// rests on: recording a run's scheduler decisions and crash placements and
+// replaying them through ReplaySched + CrashSet reproduces the identical
+// history, with no dependence on the original failure plan's randomness.
+func TestRecordReplayBitExact(t *testing.T) {
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		cfg := Config{N: 4, Model: model, Requests: 3, Seed: 99, RecordOps: true,
+			Plan: &RandomFailures{Rate: 0.02, MaxTotal: 4, DuringPassage: true}}
+		rec := &RecordSched{}
+		cfg.Sched = rec
+		r, err := New(cfg, newTAS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(rec.Decisions)) != orig.Steps {
+			t.Fatalf("[%v] recorded %d decisions for %d grants", model, len(rec.Decisions), orig.Steps)
+		}
+
+		points := make([]CrashPoint, 0, len(orig.Crashes))
+		for _, c := range orig.Crashes {
+			points = append(points, CrashPoint{PID: c.PID, OpIndex: c.OpIndex})
+		}
+		replayCfg := cfg
+		replayCfg.Sched = &ReplaySched{Decisions: rec.Decisions}
+		replayCfg.Plan = &CrashSet{Points: points}
+		r2, err := New(replayCfg, newTAS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := r2.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(orig.Events, replayed.Events) {
+			t.Fatalf("[%v] replay diverged from recorded history", model)
+		}
+		if orig.Steps != replayed.Steps || orig.TotalRMRs != replayed.TotalRMRs ||
+			orig.MaxCSOverlap != replayed.MaxCSOverlap {
+			t.Fatalf("[%v] replay statistics diverged: steps %d/%d RMRs %d/%d",
+				model, orig.Steps, replayed.Steps, orig.TotalRMRs, replayed.TotalRMRs)
+		}
+	}
+}
+
+// TestRecordSchedDelegates verifies the recorder is transparent: the run it
+// observes is the run the inner scheduler would have produced alone.
+func TestRecordSchedDelegates(t *testing.T) {
+	plain := Config{N: 3, Model: memory.CC, Requests: 2, Seed: 5, RecordOps: true}
+	res1 := run(t, plain, newTAS)
+
+	recorded := plain
+	recorded.Sched = &RecordSched{}
+	res2 := run(t, recorded, newTAS)
+	if !reflect.DeepEqual(res1.Events, res2.Events) {
+		t.Fatal("RecordSched perturbed the schedule it was recording")
+	}
+}
+
+func TestReplaySchedClampAndFallback(t *testing.T) {
+	// Indexes beyond the ready set clamp to the last entry; an exhausted
+	// stream falls back (RandomSched by default) instead of panicking.
+	s := &ReplaySched{Decisions: []int32{7, -2}}
+	ready := []int{0, 1, 2}
+	if got := s.Pick(nil, ready); got != 2 {
+		t.Fatalf("clamped pick = %d, want 2", got)
+	}
+	if got := s.Pick(nil, ready); got != 0 {
+		t.Fatalf("negative pick = %d, want 0", got)
+	}
+	s.Fallback = &RoundRobin{last: -1}
+	if got := s.Pick(nil, ready); got != 0 {
+		t.Fatalf("fallback pick = %d, want 0", got)
+	}
+	if s.Replayed() != 2 {
+		t.Fatalf("Replayed() = %d, want 2", s.Replayed())
+	}
+}
+
+func TestCrashSetPlan(t *testing.T) {
+	cs := &CrashSet{Points: []CrashPoint{{PID: 0, OpIndex: 2}, {PID: 1, OpIndex: 0}}}
+	if cs.Crash(opCtx(0, 1, "")) {
+		t.Fatal("fired at wrong index")
+	}
+	if !cs.Crash(opCtx(0, 2, "")) {
+		t.Fatal("did not fire at (0,2)")
+	}
+	// After the crash the process restarts and reaches index 2 again; the
+	// point must not re-fire (that would crash-loop forever).
+	if cs.Crash(opCtx(0, 2, "")) {
+		t.Fatal("point fired twice")
+	}
+	if !cs.Crash(opCtx(1, 0, "")) {
+		t.Fatal("did not fire at (1,0)")
+	}
+	lifecycle := opCtx(0, 2, "")
+	lifecycle.IsOp = false
+	cs2 := &CrashSet{Points: []CrashPoint{{PID: 0, OpIndex: 2}}}
+	if cs2.Crash(lifecycle) {
+		t.Fatal("fired at a lifecycle rendezvous")
+	}
+}
+
+// TestCrashStatOpIndex pins the coordinate replay depends on: the recorded
+// OpIndex is the per-process index of the instruction that was about to
+// execute, so a CrashSet at that index reproduces the crash.
+func TestCrashStatOpIndex(t *testing.T) {
+	plan := &CrashAtOp{PID: 1, OpIndex: 4}
+	res := run(t, Config{N: 2, Model: memory.CC, Requests: 2, Seed: 3, Plan: plan}, newTAS)
+	if res.CrashCount() != 1 {
+		t.Fatalf("%d crashes, want 1", res.CrashCount())
+	}
+	if c := res.Crashes[0]; c.PID != 1 || c.OpIndex != 4 {
+		t.Fatalf("crash recorded at (p%d, op %d), want (p1, op 4)", c.PID, c.OpIndex)
+	}
+}

@@ -261,7 +261,7 @@ func (r *Runner) lifecycle(pk park, seq int64) {
 
 func (r *Runner) crash(pk park, seq int64) {
 	st := &r.procs[pk.pid]
-	r.result.Crashes = append(r.result.Crashes, CrashStat{PID: pk.pid, Seq: seq, InCS: st.inCS, Op: pk.op})
+	r.result.Crashes = append(r.result.Crashes, CrashStat{PID: pk.pid, Seq: seq, OpIndex: st.opIndex, InCS: st.inCS, Op: pk.op})
 	r.record(Event{Seq: seq, PID: pk.pid, Kind: EvCrash, Op: pk.op, Request: st.request, Attempt: st.attempt})
 	if st.inCS {
 		st.inCS = false

@@ -38,6 +38,76 @@ func (s *RoundRobin) Pick(_ *rand.Rand, ready []int) int {
 	return ready[0]
 }
 
+// RecordSched wraps another scheduler and records every decision it makes
+// as an index into the sorted ready set. Re-running the same configuration
+// with a ReplaySched over the recorded decisions reproduces the run
+// bit-exactly, because the grant sequence — and therefore every ready set —
+// is fully determined by the decisions. internal/repro serializes the
+// decision stream into its artifacts.
+type RecordSched struct {
+	// Inner makes the actual decisions (default RandomSched).
+	Inner Scheduler
+	// Decisions accumulates one entry per grant.
+	Decisions []int32
+}
+
+// Pick implements Scheduler.
+func (s *RecordSched) Pick(rng *rand.Rand, ready []int) int {
+	inner := s.Inner
+	if inner == nil {
+		inner = RandomSched{}
+	}
+	pid := inner.Pick(rng, ready)
+	idx := 0
+	for j, p := range ready {
+		if p == pid {
+			idx = j
+			break
+		}
+	}
+	s.Decisions = append(s.Decisions, int32(idx))
+	return pid
+}
+
+// ReplaySched replays a decision stream recorded by RecordSched: the i-th
+// grant goes to ready[Decisions[i]]. Under the exact configuration the
+// stream was recorded from, every ready set matches and the replay is
+// bit-exact. When a shrunk or edited artifact diverges (a recorded index
+// exceeds the current ready set) the index is clamped, and once the stream
+// is exhausted Fallback takes over (default RandomSched), so replay of a
+// perturbed artifact still terminates deterministically for a fixed seed.
+type ReplaySched struct {
+	Decisions []int32
+	// Fallback schedules grants beyond the recorded stream (default
+	// RandomSched).
+	Fallback Scheduler
+
+	pos int
+}
+
+// Pick implements Scheduler.
+func (s *ReplaySched) Pick(rng *rand.Rand, ready []int) int {
+	if s.pos < len(s.Decisions) {
+		idx := int(s.Decisions[s.pos])
+		s.pos++
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ready) {
+			idx = len(ready) - 1
+		}
+		return ready[idx]
+	}
+	fb := s.Fallback
+	if fb == nil {
+		fb = RandomSched{}
+	}
+	return fb.Pick(rng, ready)
+}
+
+// Replayed reports how many recorded decisions have been consumed.
+func (s *ReplaySched) Replayed() int { return s.pos }
+
 // PrioritySched always advances the ready process for which less returns
 // true against every other candidate; ties go to the lower identifier. It
 // lets tests build adversarial schedules (e.g. always run the crasher

@@ -44,6 +44,11 @@ type RequestStat struct {
 type CrashStat struct {
 	PID int
 	Seq int64
+	// OpIndex is the per-process instruction index the process was parked
+	// at when it crashed (the instruction was never executed). Together
+	// with PID it names the crash placement deterministically, which is
+	// how internal/repro re-injects the failure on replay.
+	OpIndex int64
 	// InCS reports whether the process failed inside its critical
 	// section.
 	InCS bool

@@ -126,6 +126,33 @@ func Timeline(res *sim.Result, width int) string {
 	return sb.String()
 }
 
+// CrashTable lists every injected failure with its deterministic placement
+// (pid, per-process instruction index) and the instruction the process was
+// parked at — the same coordinates a repro artifact's crash points use, so
+// a replayed violation can be read off directly against its artifact.
+func CrashTable(res *sim.Result) string {
+	if len(res.Crashes) == 0 {
+		return "(no crashes)\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("pid  op-index  seq      in-CS  at instruction\n")
+	for _, c := range res.Crashes {
+		inCS := ""
+		if c.InCS {
+			inCS = "✖"
+		}
+		at := "(lifecycle boundary)"
+		if c.Op.Kind != 0 {
+			at = fmt.Sprintf("%s %d", c.Op.Kind, c.Op.Addr)
+			if c.Op.Label != "" {
+				at += " [" + c.Op.Label + "]"
+			}
+		}
+		fmt.Fprintf(&sb, "p%-3d %-9d %-8d %-6s %s\n", c.PID, c.OpIndex, c.Seq, inCS, at)
+	}
+	return sb.String()
+}
+
 // PassageTable lists every passage with its cost — a compact textual
 // companion to the timeline.
 func PassageTable(res *sim.Result) string {

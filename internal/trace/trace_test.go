@@ -76,3 +76,23 @@ func TestPassageTable(t *testing.T) {
 		t.Fatalf("%d lines for %d passages", lines, len(res.Passages))
 	}
 }
+
+func TestCrashTable(t *testing.T) {
+	if got := CrashTable(&sim.Result{}); !strings.Contains(got, "no crashes") {
+		t.Fatalf("empty crash table: %q", got)
+	}
+	plan := &sim.CrashAtOp{PID: 1, OpIndex: 4}
+	res := run(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 5, Plan: plan})
+	if res.CrashCount() == 0 {
+		t.Fatal("plan injected no crash")
+	}
+	out := CrashTable(res)
+	if !strings.Contains(out, "op-index") || !strings.Contains(out, "p1") {
+		t.Fatalf("crash table missing columns:\n%s", out)
+	}
+	// The crash coordinate shown is the replay coordinate: CrashPoint
+	// {PID:1, OpIndex:4} reproduces it.
+	if !strings.Contains(out, "4") {
+		t.Fatalf("crash table missing op index 4:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 )
 
@@ -22,6 +23,12 @@ import (
 // node reclamation (the default), which keeps the arena layout fixed.
 
 const snapMagic = "RMESNAP1"
+
+// snapTable is the CRC-64 polynomial for the integrity footer appended to
+// every snapshot: the checksum of header plus body, little-endian, trails
+// the stream so that torn writes (a crash partway through Snapshot) and
+// bit corruption are both detected by Restore.
+var snapTable = crc64.MakeTable(crc64.ECMA)
 
 var (
 	// ErrSnapshotUnsupported is returned by Snapshot for mutexes built
@@ -60,6 +67,12 @@ func (m *Mutex) Snapshot(w io.Writer) error {
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("rme: writing snapshot words: %w", err)
 	}
+	sum := crc64.Update(crc64.Update(0, snapTable, header), snapTable, buf)
+	var footer [8]byte
+	binary.LittleEndian.PutUint64(footer[:], sum)
+	if _, err := w.Write(footer[:]); err != nil {
+		return fmt.Errorf("rme: writing snapshot checksum: %w", err)
+	}
 	return nil
 }
 
@@ -88,6 +101,23 @@ func Restore(r io.Reader, fail FailFunc) (*Mutex, error) {
 		return nil, fmt.Errorf("%w: implausible header (n=%d levels=%d words=%d)", ErrBadSnapshot, n, levels, nwords)
 	}
 
+	// Verify the integrity footer before acting on any header field: a
+	// corrupted base/levels value must surface as ErrBadSnapshot, not as a
+	// configuration error from New.
+	buf := make([]byte, 8*nwords)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: short body: %v", ErrBadSnapshot, err)
+	}
+	var footer [8]byte
+	if _, err := io.ReadFull(r, footer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum footer (truncated stream?): %v", ErrBadSnapshot, err)
+	}
+	want := binary.LittleEndian.Uint64(footer[:])
+	got := crc64.Update(crc64.Update(0, snapTable, header), snapTable, buf)
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %016x, computed %016x)", ErrBadSnapshot, want, got)
+	}
+
 	opts := []Option{WithBase(base), WithLevels(levels)}
 	if slack > 0 {
 		opts = append(opts, WithSlack(slack))
@@ -100,10 +130,6 @@ func Restore(r io.Reader, fail FailFunc) (*Mutex, error) {
 		return nil, err
 	}
 
-	buf := make([]byte, 8*nwords)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("%w: short body: %v", ErrBadSnapshot, err)
-	}
 	words := make([]uint64, nwords)
 	for i := range words {
 		words[i] = binary.LittleEndian.Uint64(buf[8*i:])

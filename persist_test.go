@@ -2,6 +2,7 @@ package rme
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -171,5 +172,73 @@ func TestRestoreWithFailureInjection(t *testing.T) {
 	m2.Unlock(0)
 	if calls == 0 {
 		t.Fatal("failure hook not installed on restore")
+	}
+}
+
+// limitWriter fails with a torn write after limit bytes, simulating a
+// crash partway through persisting a snapshot to stable storage.
+type limitWriter struct {
+	buf   bytes.Buffer
+	limit int
+}
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	room := w.limit - w.buf.Len()
+	if room <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > room {
+		w.buf.Write(p[:room])
+		return room, errors.New("disk full")
+	}
+	return w.buf.Write(p)
+}
+
+// TestRestoreRejectsTornWrite: a snapshot cut off at every possible byte
+// length — mid-header, mid-body, mid-footer — must never restore; the
+// integrity footer turns torn writes into ErrBadSnapshot, not a mutex
+// silently rebuilt from partial state.
+func TestRestoreRejectsTornWrite(t *testing.T) {
+	m, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := m.Snapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < full.Len(); limit++ {
+		w := &limitWriter{limit: limit}
+		if err := m.Snapshot(w); err == nil {
+			t.Fatalf("Snapshot succeeded against a %d-byte device", limit)
+		}
+		if _, err := Restore(bytes.NewReader(w.buf.Bytes()), nil); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("torn snapshot at %d/%d bytes restored: err=%v", limit, full.Len(), err)
+		}
+	}
+}
+
+// TestRestoreRejectsCorruption: flipping any single byte of the stream is
+// caught by the CRC-64 footer.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	m, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	for i := range snap {
+		bad := append([]byte{}, snap...)
+		bad[i] ^= 0x40
+		if _, err := Restore(bytes.NewReader(bad), nil); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("corruption at byte %d restored: err=%v", i, err)
+		}
+	}
+	// The pristine stream still restores.
+	if _, err := Restore(bytes.NewReader(snap), nil); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
 	}
 }

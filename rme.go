@@ -216,13 +216,18 @@ func (m *Mutex) Unlock(pid int) {
 // crash. The critical section should be idempotent if failures inside it
 // are possible (the BCSR property guarantees re-entry before any other
 // process gets in).
+//
+// Only this process's own crash sentinel is converted into a false return:
+// an ErrCrash carrying a different PID (a Crash(otherPid) raised inside cs,
+// or a nested mutex's injected failure unwinding through this one) is not
+// this passage's failure and propagates as a panic.
 func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
 	defer func() {
 		e := recover()
 		if e == nil {
 			return
 		}
-		if _, crashed := e.(memory.ErrCrash); crashed {
+		if crash, crashed := e.(memory.ErrCrash); crashed && crash.PID == pid {
 			ok = false
 			return
 		}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"rme/internal/memory"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -295,4 +297,48 @@ func TestOptionsCombinations(t *testing.T) {
 			t.Fatal("passage failed")
 		}
 	}
+}
+
+// TestPassageIgnoresForeignCrashSentinel is the regression test for the
+// sentinel-swallowing bug: Passage must convert only its own process's
+// crash sentinel into a false return. A Crash for a different PID raised
+// inside the critical section (e.g. from a nested mutex's injection
+// unwinding through this one) is not this passage's failure and must
+// propagate as a panic, never be silently absorbed as "retry me".
+func TestPassageIgnoresForeignCrashSentinel(t *testing.T) {
+	m, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Own sentinel: converted to ok=false exactly once, then recovery.
+	crashed := false
+	for !m.Passage(0, func() {
+		if !crashed {
+			crashed = true
+			Crash(0)
+		}
+	}) {
+	}
+	if !crashed {
+		t.Fatal("own-pid crash never fired")
+	}
+
+	// Foreign sentinel: re-panics out of Passage.
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("Passage swallowed a foreign crash sentinel")
+		}
+		crash, ok := e.(memory.ErrCrash)
+		if !ok || crash.PID != 1 {
+			t.Fatalf("unexpected panic value %v", e)
+		}
+		// The swallowing bug would also have leaked the held lock; after
+		// the propagated panic process 0's next passage must still work
+		// (Recover releases or re-enters per BCSR).
+		if !m.Passage(0, func() {}) {
+			t.Fatal("lock unusable after foreign sentinel propagated")
+		}
+	}()
+	m.Passage(0, func() { Crash(1) })
 }
