@@ -1,4 +1,7 @@
-package rme
+// Package rme_test holds the root benchmarks in an external test package:
+// internal/bench imports rme (for the native wall-clock runner), so an
+// in-package test file importing internal/bench would be a cycle.
+package rme_test
 
 // One benchmark per artifact of the paper's evaluation (see DESIGN.md's
 // experiment index). The simulator-backed benchmarks report model-exact
@@ -12,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"rme"
 	"rme/internal/bench"
 	"rme/internal/memory"
 	"rme/internal/sim"
@@ -23,13 +27,13 @@ import (
 func BenchmarkNativeUncontended(b *testing.B) {
 	for _, tc := range []struct {
 		name string
-		base Base
+		base rme.Base
 	}{
-		{"ba-tournament", BaseTournament},
-		{"ba-arbtree", BaseArbTree},
+		{"ba-tournament", rme.BaseTournament},
+		{"ba-arbtree", rme.BaseArbTree},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			m, err := New(1, WithBase(tc.base))
+			m, err := rme.New(1, rme.WithBase(tc.base))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -53,7 +57,7 @@ func BenchmarkNativeUncontended(b *testing.B) {
 func BenchmarkNativeContended(b *testing.B) {
 	for _, workers := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			m, err := New(workers)
+			m, err := rme.New(workers)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,7 +1,7 @@
 // Command rmebench regenerates every table and figure of Dhoked & Mittal,
 // "An Adaptive Approach to Recoverable Mutual Exclusion" (PODC 2020), by
 // measuring the implementations in this repository on the RMR-exact
-// shared-memory simulator.
+// shared-memory simulator, and benchmarks the real sync/atomic backend.
 //
 // Usage:
 //
@@ -23,7 +23,13 @@
 //	ablation     the price of each property, from plain MCS up
 //	reclaim      Section 7.2: bounded space via reclamation
 //	superpassage Section 7.3: super-passage cost under repeated self-crashes
+//	native       wall-clock throughput of the sync/atomic backend,
+//	             padded vs unpadded arena (the BENCH_native.json source)
 //	all          everything above, in order
+//
+// With -json, tables (and the native report) are emitted as JSON documents
+// instead of text — the format archived as BENCH_*.json (see
+// EXPERIMENTS.md).
 package main
 
 import (
@@ -44,14 +50,22 @@ func main() {
 		seeds    = flag.String("seeds", "1,2,3", "comma-separated seeds to average over")
 		seed     = flag.Int64("seed", 21, "seed for single-run figures")
 		csv      = flag.Bool("csv", false, "emit tables as CSV (figures stay textual)")
+		jsonOut  = flag.Bool("json", false, "emit tables and the native report as JSON")
+		workers  = flag.Int("workers", 8, "native: max concurrent workers (swept 1,2,4,...)")
+		passages = flag.Int("passages", 20000, "native: passages per measurement")
+		reps     = flag.Int("reps", 3, "native: repetitions per measurement (best kept)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components reclaim superpassage all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "rmebench: -csv and -json are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -65,28 +79,40 @@ func main() {
 		seedList = append(seedList, v)
 	}
 	opts := bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList}
+	nopts := bench.NativeOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
 
-	if err := run(flag.Arg(0), opts, *seed, *csv); err != nil {
+	if err := run(flag.Arg(0), opts, nopts, *seed, *csv, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts bench.Opts, seed int64, csv bool) error {
-	show := func(t *bench.Table) {
-		if csv {
+func run(exp string, opts bench.Opts, nopts bench.NativeOpts, seed int64, csv, jsonOut bool) error {
+	show := func(t *bench.Table) error {
+		switch {
+		case jsonOut:
+			raw, err := t.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+		case csv:
 			fmt.Print(t.CSV())
-		} else {
+		default:
 			fmt.Println(t)
 		}
+		return nil
 	}
 	switch exp {
 	case "table1":
 		for _, t := range bench.Table1(opts) {
-			show(t)
+			if err := show(t); err != nil {
+				return err
+			}
 		}
+		return nil
 	case "table2":
-		show(bench.Table2(opts))
+		return show(bench.Table2(opts))
 	case "figure1":
 		fmt.Println(bench.Figure1(seed))
 	case "figure2":
@@ -94,27 +120,42 @@ func run(exp string, opts bench.Opts, seed int64, csv bool) error {
 	case "figure3":
 		fmt.Println(bench.Figure3(opts))
 	case "adaptivity":
-		show(bench.Adaptivity(opts))
+		return show(bench.Adaptivity(opts))
 	case "escalation":
-		show(bench.Escalation(opts))
+		return show(bench.Escalation(opts))
 	case "batch":
-		show(bench.Batch(opts))
+		return show(bench.Batch(opts))
 	case "resp":
-		show(bench.Responsiveness(opts))
+		return show(bench.Responsiveness(opts))
 	case "components":
-		show(bench.Components())
+		return show(bench.Components())
 	case "scale":
-		show(bench.Scale(opts))
+		return show(bench.Scale(opts))
 	case "ablation":
-		show(bench.Ablation(opts))
+		return show(bench.Ablation(opts))
 	case "reclaim":
-		show(bench.Reclaim(opts))
+		return show(bench.Reclaim(opts))
 	case "superpassage":
-		show(bench.SuperPassage(opts))
+		return show(bench.SuperPassage(opts))
+	case "native":
+		rep, err := bench.Native(nopts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			raw, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		return show(rep.Table())
 	case "all":
 		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
-			"adaptivity", "escalation", "batch", "resp", "components", "scale", "ablation", "reclaim", "superpassage"} {
-			if err := run(e, opts, seed, csv); err != nil {
+			"adaptivity", "escalation", "batch", "resp", "components", "scale",
+			"ablation", "reclaim", "superpassage", "native"} {
+			if err := run(e, opts, nopts, seed, csv, jsonOut); err != nil {
 				return err
 			}
 			fmt.Println()

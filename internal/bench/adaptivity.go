@@ -11,6 +11,10 @@ import (
 	"rme/internal/yalock"
 )
 
+// runSeeds is RunSeeds behind a seam so tests can stub simulator failures
+// and pin down the error-path cell arity of every experiment.
+var runSeeds = RunSeeds
+
 // Adaptivity regenerates the headline result (Theorems 5.18/5.19): mean
 // and max RMRs per passage as the number of injected failures F grows,
 // for the super-adaptive locks against the non-adaptive baselines. The
@@ -36,9 +40,15 @@ func Adaptivity(o Opts) *Table {
 		for _, lk := range []string{"ba-log", "ba-sublog", "tournament", "wr"} {
 			pt := Point{Lock: lk, N: o.N, Model: memory.CC, Requests: o.Requests + f/8,
 				Plan: unsafePlan(f, o.N), RecordOps: lk == "ba-log" || lk == "ba-sublog"}
-			m, err := RunSeeds(pt, o.Seeds)
+			m, err := runSeeds(pt, o.Seeds)
 			if err != nil {
-				row = append(row, "ERR")
+				if lk == "ba-log" {
+					// ba-log contributes two columns (aff-mean, aff-max);
+					// a single ERR cell would misalign the rest of the row.
+					row = append(row, "ERR", "ERR")
+				} else {
+					row = append(row, "ERR")
+				}
 				continue
 			}
 			switch lk {
@@ -93,7 +103,7 @@ func Escalation(o Opts) *Table {
 	for _, f := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
 		pt := Point{Lock: "ba-log", N: o.N, Model: memory.CC, Requests: o.Requests + f/8,
 			Plan: unsafePlan(f, o.N), RecordOps: true}
-		m, err := RunSeeds(pt, o.Seeds)
+		m, err := runSeeds(pt, o.Seeds)
 		if err != nil {
 			t.Add(f, "ERR", "-", "-")
 			continue
@@ -133,9 +143,9 @@ func Batch(o Opts) *Table {
 			return workload.Batch(60, pids)
 		}
 		indepPlan := unsafePlan(k, o.N)
-		mb, err1 := RunSeeds(Point{Lock: "ba-log", N: o.N, Model: memory.CC, Requests: o.Requests,
+		mb, err1 := runSeeds(Point{Lock: "ba-log", N: o.N, Model: memory.CC, Requests: o.Requests,
 			Plan: batchPlan, RecordOps: true}, o.Seeds)
-		mi, err2 := RunSeeds(Point{Lock: "ba-log", N: o.N, Model: memory.CC, Requests: o.Requests,
+		mi, err2 := runSeeds(Point{Lock: "ba-log", N: o.N, Model: memory.CC, Requests: o.Requests,
 			Plan: indepPlan, RecordOps: true}, o.Seeds)
 		if err1 != nil || err2 != nil {
 			t.Add(k, "ERR", "-", "ERR", "-")
@@ -160,9 +170,9 @@ func Components() *Table {
 	}
 	for _, model := range []memory.Model{memory.CC, memory.DSM} {
 		for _, n := range []int{2, 8, 32} {
-			m, err := RunSeeds(Point{Lock: "wr", N: n, Model: model, Requests: 6}, []int64{1, 2})
+			m, err := runSeeds(Point{Lock: "wr", N: n, Model: model, Requests: 6}, []int64{1, 2})
 			if err != nil {
-				t.Add("wr (filter)", model, n, "ERR", "-")
+				t.Add("wr (filter)", model.String(), n, "ERR", "-")
 				continue
 			}
 			t.Add("wr (filter)", model.String(), n, m.FFMax, m.FFMean)
@@ -382,7 +392,7 @@ func Responsiveness(o Opts) *Table {
 			return ps
 		}
 		pt := Point{Lock: "wr", N: 8, Model: memory.CC, Requests: o.Requests, Plan: plan, CSOps: 6}
-		m, err := RunSeeds(pt, o.Seeds)
+		m, err := runSeeds(pt, o.Seeds)
 		if err != nil {
 			t.Add(k, "ERR", "-", "-", "-")
 			continue
@@ -413,7 +423,7 @@ func Scale(o Opts) *Table {
 	for _, n := range []int{4, 8, 16, 32, 64} {
 		row := []interface{}{n}
 		for _, lk := range []string{"mcs", "wr", "ba-log", "ba-sublog", "arbtree", "tournament", "bakery"} {
-			m, err := RunSeeds(Point{Lock: lk, N: n, Model: memory.CC, Requests: o.Requests}, o.Seeds)
+			m, err := runSeeds(Point{Lock: lk, N: n, Model: memory.CC, Requests: o.Requests}, o.Seeds)
 			if err != nil {
 				row = append(row, "ERR")
 				continue

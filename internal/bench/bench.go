@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -261,6 +262,26 @@ func FitSqrt(xs []float64, ys []float64) (c float64, resid float64) {
 		return c, 0
 	}
 	return c, math.Sqrt(ss / tot)
+}
+
+// JSON renders the table as a machine-readable object: the rmebench -json
+// mode emits this for every experiment so results can be archived and
+// diffed across commits (the BENCH_*.json workflow in EXPERIMENTS.md).
+// Cells stay strings — they are already formatted for human-stable diffs.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Schema  string     `json:"schema"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{
+		Schema:  "rme-bench-table/v1",
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}, "", "  ")
 }
 
 // CSV renders the table as RFC-4180-style comma-separated values (header

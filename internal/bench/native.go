@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"rme"
+)
+
+// Native benchmarking measures the real sync/atomic backend — wall-clock
+// passages per second on actual hardware, not simulated RMR counts. Each
+// configuration is run for both arena layouts: the cache-line-padded
+// default and the dense legacy layout (rme.WithUnpaddedArena), so the
+// layout optimization is measured, not asserted. Results are serialized
+// as BENCH_native.json to record the performance trajectory across
+// commits (see EXPERIMENTS.md).
+
+// NativeOpts configures the native throughput runner.
+type NativeOpts struct {
+	// MaxWorkers caps the worker sweep 1, 2, 4, ... (default 8).
+	MaxWorkers int
+	// Passages is the total passage count per measurement (default 20000).
+	Passages int
+	// Reps repeats each measurement, keeping the best (default 3) —
+	// standard practice for wall-clock numbers on shared machines.
+	Reps int
+}
+
+func (o *NativeOpts) fill() {
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 8
+	}
+	if o.Passages <= 0 {
+		o.Passages = 20000
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+}
+
+// NativeResult is one measured configuration.
+type NativeResult struct {
+	Lock           string  `json:"lock"`    // rme base lock ("ba-log", "ba-sublog")
+	Layout         string  `json:"layout"`  // "padded" or "unpadded"
+	Workers        int     `json:"workers"` // concurrent processes
+	Passages       int     `json:"passages"`
+	NsPerPassage   float64 `json:"ns_per_passage"`
+	PassagesPerSec float64 `json:"passages_per_sec"`
+}
+
+// NativeReport is the BENCH_native.json document.
+type NativeReport struct {
+	Schema     string         `json:"schema"` // "rme-bench-native/v1"
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Passages   int            `json:"passages_per_measurement"`
+	Reps       int            `json:"reps"`
+	Results    []NativeResult `json:"results"`
+}
+
+// nativeLocks maps benchmark lock names to rme options.
+var nativeLocks = []struct {
+	name string
+	opts []rme.Option
+}{
+	{"ba-log", nil},
+	{"ba-sublog", []rme.Option{rme.WithBase(rme.BaseArbTree)}},
+}
+
+// Native sweeps worker counts over both arena layouts and reports
+// wall-clock throughput of the real backend.
+func Native(o NativeOpts) (*NativeReport, error) {
+	o.fill()
+	rep := &NativeReport{
+		Schema:     "rme-bench-native/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Passages:   o.Passages,
+		Reps:       o.Reps,
+	}
+	layouts := []string{"padded", "unpadded"}
+	for _, lk := range nativeLocks {
+		for workers := 1; workers <= o.MaxWorkers; workers *= 2 {
+			layoutOpts := func(layout string) []rme.Option {
+				opts := append([]rme.Option(nil), lk.opts...)
+				if layout == "unpadded" {
+					opts = append(opts, rme.WithUnpaddedArena())
+				}
+				return opts
+			}
+			// Warm up both layouts (scheduler, allocator, branch caches),
+			// then interleave the timed reps A/B so slow machine-state
+			// drift (frequency scaling, co-tenants) hits both layouts
+			// equally instead of whichever block ran second.
+			best := map[string]time.Duration{}
+			for rep := 0; rep < o.Reps+1; rep++ {
+				for _, layout := range layouts {
+					passages := o.Passages
+					if rep == 0 {
+						passages = o.Passages / 4
+					}
+					runtime.GC() // keep collector pauses out of the timed region
+					d, err := nativeRun(workers, passages, layoutOpts(layout))
+					if err != nil {
+						return nil, fmt.Errorf("bench: native %s/%s workers=%d: %w", lk.name, layout, workers, err)
+					}
+					if rep == 0 {
+						continue // warmup, discarded
+					}
+					if best[layout] == 0 || d < best[layout] {
+						best[layout] = d
+					}
+				}
+			}
+			for _, layout := range layouts {
+				ns := float64(best[layout].Nanoseconds()) / float64(o.Passages)
+				rep.Results = append(rep.Results, NativeResult{
+					Lock:           lk.name,
+					Layout:         layout,
+					Workers:        workers,
+					Passages:       o.Passages,
+					NsPerPassage:   ns,
+					PassagesPerSec: 1e9 / ns,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// nativeRun times `passages` total passages split across `workers`
+// goroutines on one mutex, from a common start barrier.
+func nativeRun(workers, passages int, opts []rme.Option) (time.Duration, error) {
+	m, err := rme.New(workers, opts...)
+	if err != nil {
+		return 0, err
+	}
+	per := passages / workers
+	if per == 0 {
+		per = 1
+	}
+	start := make(chan struct{})
+	done := make(chan struct{}, workers)
+	for pid := 0; pid < workers; pid++ {
+		go func(pid int) {
+			<-start
+			for i := 0; i < per; i++ {
+				m.Lock(pid)
+				m.Unlock(pid)
+			}
+			done <- struct{}{}
+		}(pid)
+	}
+	t0 := time.Now()
+	close(start)
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	return time.Since(t0), nil
+}
+
+// Table renders the report as a bench table for the text mode.
+func (r *NativeReport) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Native backend throughput (wall clock, GOMAXPROCS=%d, num_cpu=%d, best of %d)",
+			r.GOMAXPROCS, r.NumCPU, r.Reps),
+		Columns: []string{"lock", "layout", "workers", "ns/passage", "passages/sec"},
+		Notes: []string{
+			"padded: cache-line-aware arena (home striping, cached bound); unpadded: dense legacy layout",
+			"wall-clock numbers; compare layouts within a machine, not across machines",
+		},
+	}
+	for _, res := range r.Results {
+		t.Add(res.Lock, res.Layout, res.Workers,
+			fmt.Sprintf("%.0f", res.NsPerPassage), fmt.Sprintf("%.0f", res.PassagesPerSec))
+	}
+	return t
+}
+
+// JSON serializes the report (the BENCH_native.json format).
+func (r *NativeReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,10 +1,16 @@
 package memory
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
+
+// LineWords is the number of 8-byte words per 64-byte cache line, the unit
+// of false sharing on the hardware the native backend runs on.
+const LineWords = 8
 
 // NativeArena is the sync/atomic backed shared memory. It runs the same
 // lock algorithms as Arena but under real goroutine concurrency, standing
@@ -12,53 +18,225 @@ import (
 // worker abandons its private state and later re-runs Recover against the
 // untouched arena).
 //
-// The arena is a fixed-capacity array of atomic words with a bump
-// allocator; all operations on allocated words are safe for concurrent use.
+// Unlike the simulated Arena, which only *accounts* remote memory
+// references, the native arena actually pays them, so its layout is
+// cache-line aware by default:
+//
+//   - Allocations with a home process land in that process's region
+//     (stripe), and stripes are composed of whole cache lines, so two
+//     processes' locally-spun words never share a 64-byte line. This is
+//     the DSM discipline made physical: a process's spin words are on
+//     lines nobody else's spin words live on.
+//   - Allocations with HomeNone (tail pointers and other truly shared
+//     words) each get their own cache line(s), so unrelated shared words
+//     never false-share either.
+//   - Each stripe bump-allocates privately and grabs whole lines from a
+//     single line counter, so Alloc is not one contended word counter.
+//   - Word 0 is the reserved null word; its entire line is left unused.
+//
+// The Unpadded option selects the pre-optimization dense layout (single
+// bump allocator, home ignored, per-instruction bounds check against the
+// shared counter) so benchmarks can measure the padded layout's win
+// instead of asserting it.
+//
 // RMR accounting is not available on this backend (real cache behaviour is
 // up to the hardware) — use Arena for RMR experiments.
 type NativeArena struct {
-	n     int
+	nativeAlloc
 	words []atomic.Uint64
-	next  atomic.Int64
+
+	// snapshotHook, when non-nil, runs between the two scans of
+	// SnapshotWords. Test seam for deterministic torn-snapshot coverage.
+	snapshotHook func()
 }
 
+// nativeAlloc is the allocation state shared by NativeArena and
+// NativeSizer, so capacity measurement replays exactly the allocator the
+// real arena uses.
+type nativeAlloc struct {
+	n      int
+	padded bool
+	limit  int64 // physical capacity in words; 0 = unbounded (sizer)
+
+	// Padded layout: whole cache lines are handed out by nextLine, then
+	// sub-allocated per home stripe.
+	nextLine atomic.Int64
+	stripes  []stripe
+
+	// Unpadded legacy layout: a single bump pointer.
+	next atomic.Int64
+}
+
+// stripe is one home region's private bump allocator. Padded to a cache
+// line so concurrent allocations in different stripes do not false-share
+// the allocator state itself.
+type stripe struct {
+	mu       sync.Mutex
+	cur, end int64 // current line span: next free word, first word past it
+	_        [5]uint64
+}
+
+// NativeOption configures NewNativeArena.
+type NativeOption func(*nativeAlloc)
+
+// Unpadded selects the legacy dense layout: one contiguous word array, a
+// single shared bump allocator, the home hint ignored, and the bounds
+// check re-read from the shared counter on every instruction. It exists so
+// benchmarks can compare the cache-line-aware layout against the layout
+// this repository used before it (see BENCH_native.json); production
+// callers want the default.
+func Unpadded() NativeOption { return func(al *nativeAlloc) { al.padded = false } }
+
 // NewNativeArena returns a native arena for n processes with capacity for
-// the given number of words. Word 0 is reserved as null.
-func NewNativeArena(n, capacity int) *NativeArena {
+// the given number of physical words. Word 0 is reserved as null. Under
+// the default padded layout the capacity is rounded up to whole cache
+// lines (minimum two: the null line plus one allocatable line), and
+// allocations consume whole lines per the layout rules above — size
+// arenas with NewNativeSizer, or via rme.WithCapacity at the API level.
+func NewNativeArena(n, capacity int, opts ...NativeOption) *NativeArena {
 	if n <= 0 {
 		panic(fmt.Sprintf("memory: invalid process count %d", n))
 	}
 	if capacity < 1 {
 		capacity = 1
 	}
-	a := &NativeArena{n: n, words: make([]atomic.Uint64, capacity)}
-	a.next.Store(1) // reserve null
+	a := &NativeArena{}
+	a.initAlloc(n, opts...)
+	if a.padded {
+		lines := (int64(capacity) + LineWords - 1) / LineWords
+		if lines < 2 {
+			lines = 2
+		}
+		a.limit = lines * LineWords
+	} else {
+		a.limit = int64(capacity)
+	}
+	a.words = make([]atomic.Uint64, a.limit)
 	return a
+}
+
+func (al *nativeAlloc) initAlloc(n int, opts ...NativeOption) {
+	al.n = n
+	al.padded = true
+	for _, o := range opts {
+		o(al)
+	}
+	if al.padded {
+		al.nextLine.Store(1) // line 0 holds the reserved null word
+		al.stripes = make([]stripe, n)
+	} else {
+		al.next.Store(1) // reserve null
+	}
+}
+
+// grabLines reserves k whole cache lines and returns the word address of
+// the first. The CAS loop never overcommits, so every address below
+// bound() is backed by real memory.
+func (al *nativeAlloc) grabLines(k int64) int64 {
+	for {
+		line := al.nextLine.Load()
+		end := line + k
+		if al.limit > 0 && end*LineWords > al.limit {
+			panic(fmt.Sprintf("memory: native arena exhausted (capacity %d words); size it with rme.WithCapacity", al.limit))
+		}
+		if al.nextLine.CompareAndSwap(line, end) {
+			return line * LineWords
+		}
+	}
+}
+
+// alloc implements the layout policy for both the arena and the sizer.
+func (al *nativeAlloc) alloc(nwords, home int) Addr {
+	if nwords <= 0 {
+		panic(fmt.Sprintf("memory: Alloc(%d)", nwords))
+	}
+	if home != HomeNone && (home < 0 || home >= al.n) {
+		panic(fmt.Sprintf("memory: Alloc home %d out of range [0,%d)", home, al.n))
+	}
+	if !al.padded {
+		base := al.next.Add(int64(nwords)) - int64(nwords)
+		if al.limit > 0 && base+int64(nwords) > al.limit {
+			panic(fmt.Sprintf("memory: native arena exhausted (capacity %d words); size it with rme.WithCapacity", al.limit))
+		}
+		return Addr(base)
+	}
+	lines := (int64(nwords) + LineWords - 1) / LineWords
+	if home == HomeNone {
+		// Truly shared words get exclusive lines: no two HomeNone
+		// allocations (nor any home stripe) ever share one.
+		return Addr(al.grabLines(lines))
+	}
+	s := &al.stripes[home]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end-s.cur < int64(nwords) {
+		base := al.grabLines(lines)
+		s.cur = base
+		s.end = base + lines*LineWords
+	}
+	addr := s.cur
+	s.cur += int64(nwords)
+	return Addr(addr)
+}
+
+// bound returns the first invalid word address: everything below it is
+// allocated (or padding within an allocated line) and safely addressable.
+func (al *nativeAlloc) bound() int64 {
+	if !al.padded {
+		return al.next.Load()
+	}
+	return al.nextLine.Load() * LineWords
 }
 
 // N returns the number of processes.
 func (a *NativeArena) N() int { return a.n }
 
-// Alloc implements Space. home is accepted for layout compatibility with
-// the simulated arena and otherwise ignored.
-func (a *NativeArena) Alloc(nwords int, home int) Addr {
-	if nwords <= 0 {
-		panic(fmt.Sprintf("memory: Alloc(%d)", nwords))
-	}
-	_ = home
-	base := a.next.Add(int64(nwords)) - int64(nwords)
-	if base+int64(nwords) > int64(len(a.words)) {
-		panic(fmt.Sprintf("memory: native arena exhausted (capacity %d words); size it with rme.WithCapacity", len(a.words)))
-	}
-	return Addr(base)
-}
+// Padded reports whether the arena uses the cache-line-aware layout.
+func (a *NativeArena) Padded() bool { return a.padded }
 
-// Size returns the number of words allocated so far.
-func (a *NativeArena) Size() int { return int(a.next.Load()) }
+// Alloc implements Space. Under the padded layout home selects the owning
+// process's stripe (HomeNone words get exclusive cache lines); under the
+// legacy Unpadded layout it is accepted and ignored.
+func (a *NativeArena) Alloc(nwords int, home int) Addr { return a.alloc(nwords, home) }
+
+// Size returns the arena's physical footprint in words: everything handed
+// out so far, including the reserved null line and cache-line padding
+// under the default layout.
+func (a *NativeArena) Size() int { return int(a.bound()) }
 
 // Peek reads a word without synchronizing with concurrent writers beyond
 // the atomicity of the load. Debug use only.
 func (a *NativeArena) Peek(addr Addr) Word { return a.words[addr].Load() }
+
+// NativeSizer measures the physical capacity a NativeArena needs for an
+// allocation sequence: it implements Space by replaying the arena's exact
+// layout policy without backing memory. Replay the construction against a
+// sizer, then create the real arena with the measured word count — the
+// identical allocation sequence then yields the identical layout.
+type NativeSizer struct {
+	nativeAlloc
+}
+
+// NewNativeSizer returns a sizer for n processes. padded selects the
+// layout to measure (matching the arena the result will size).
+func NewNativeSizer(n int, padded bool) *NativeSizer {
+	if n <= 0 {
+		panic(fmt.Sprintf("memory: invalid process count %d", n))
+	}
+	s := &NativeSizer{}
+	var opts []NativeOption
+	if !padded {
+		opts = append(opts, Unpadded())
+	}
+	s.initAlloc(n, opts...)
+	return s
+}
+
+// Alloc implements Space.
+func (s *NativeSizer) Alloc(nwords int, home int) Addr { return s.alloc(nwords, home) }
+
+// Words returns the physical capacity consumed so far, in words.
+func (s *NativeSizer) Words() int { return int(s.bound()) }
 
 // FailFunc decides whether the process should crash immediately before the
 // instruction it is about to execute. It is the native counterpart of the
@@ -93,6 +271,15 @@ type NativePort struct {
 	pid   int
 	fail  FailFunc
 	label string
+
+	// bound caches the arena's allocation bound so the hot path validates
+	// addresses with a register compare instead of re-reading the shared
+	// counter on every instruction; refreshed on miss (the arena only
+	// grows). Meaningful only under the padded layout — the legacy layout
+	// keeps its original per-instruction load for faithful A/B numbers.
+	bound int64
+	// spin is the Pause backoff ladder position.
+	spin uint8
 }
 
 var _ Port = (*NativePort)(nil)
@@ -109,13 +296,51 @@ func (p *NativePort) Alloc(nwords int, home int) Addr { return p.arena.Alloc(nwo
 // Label implements Port.
 func (p *NativePort) Label(l string) { p.label = l }
 
-// Pause implements Port. Busy-wait loops yield so that spinners make
-// progress even on GOMAXPROCS=1.
-func (p *NativePort) Pause() { runtime.Gosched() }
+// pauseSpinMax bounds the busy-wait ladder: 1<<0 .. 1<<pauseSpinMax empty
+// iterations (63 total) before the port yields the processor and the
+// ladder resets. Brief spinning lets a waiter catch a release without a
+// scheduler round trip; the bound keeps heavily oversubscribed runs live,
+// where yielding is the only way forward.
+const pauseSpinMax = 6
+
+// pauseCanSpin reports whether busy-waiting can ever pay off: on a single
+// processor the awaited writer cannot run concurrently, so every spin
+// iteration is wasted and Pause should go straight to the scheduler (the
+// same multicore gate sync.Mutex applies to its spinning).
+func pauseCanSpin() bool { return runtime.GOMAXPROCS(0) > 1 }
+
+// Pause implements Port: bounded spin-then-yield exponential backoff on
+// multicore, a plain yield on a uniprocessor. Under the legacy Unpadded
+// layout it yields unconditionally — the pre-optimization backend's
+// behaviour — so the padded/unpadded benchmark compares the complete old
+// and new execution paths.
+func (p *NativePort) Pause() {
+	if !p.arena.padded || !pauseCanSpin() {
+		runtime.Gosched()
+		return
+	}
+	if p.spin < pauseSpinMax {
+		for i := 0; i < 1<<p.spin; i++ {
+			// Busy-wait. The gc compiler does not elide empty loops.
+		}
+		p.spin++
+		return
+	}
+	p.spin = 0
+	runtime.Gosched()
+}
 
 func (p *NativePort) step(k OpKind, addr Addr) {
-	if addr == Nil || int64(addr) >= p.arena.next.Load() {
-		panic(fmt.Sprintf("memory: access to invalid address %d", addr))
+	if p.arena.padded {
+		if addr == Nil || int64(addr) >= p.bound {
+			p.refreshBound(addr)
+		}
+	} else {
+		// Legacy layout: validate against the shared counter every time,
+		// exactly as the pre-optimization backend did.
+		if addr == Nil || int64(addr) >= p.arena.next.Load() {
+			panic(fmt.Sprintf("memory: access to invalid address %d", addr))
+		}
 	}
 	label := p.label
 	p.label = ""
@@ -125,6 +350,18 @@ func (p *NativePort) step(k OpKind, addr Addr) {
 			panic(ErrCrash{PID: p.pid, Op: op})
 		}
 	}
+}
+
+// refreshBound reloads the cached allocation bound (the arena may have
+// grown since it was cached) and panics if addr is still invalid.
+func (p *NativePort) refreshBound(addr Addr) {
+	if addr != Nil {
+		p.bound = p.arena.bound()
+		if int64(addr) < p.bound {
+			return
+		}
+	}
+	panic(fmt.Sprintf("memory: access to invalid address %d", addr))
 }
 
 // Read implements Port.
@@ -151,10 +388,19 @@ func (p *NativePort) CAS(a Addr, old, new Word) bool {
 	return p.arena.words[a].CompareAndSwap(old, new)
 }
 
-// Words returns an atomic-per-word copy of the allocated arena contents
-// (index 0 is the reserved null word). Used for NVRAM-style snapshots.
+// ErrTornSnapshot is returned by SnapshotWords when the arena was mutated
+// (written or grown) while the snapshot was being taken. Snapshots are
+// only meaningful at a quiescent point; a torn one must never be restored
+// as if it were consistent.
+var ErrTornSnapshot = errors.New("memory: arena mutated during snapshot (quiescence violated)")
+
+// Words returns an atomic-per-word copy of the arena's physical contents
+// (index 0 is the reserved null word; under the padded layout the copy
+// includes cache-line padding holes). It does not detect concurrent
+// writers — debug use only; snapshots that may be restored must use
+// SnapshotWords.
 func (a *NativeArena) Words() []Word {
-	size := a.next.Load()
+	size := a.bound()
 	out := make([]Word, size)
 	for i := int64(1); i < size; i++ {
 		out[i] = a.words[i].Load()
@@ -162,12 +408,41 @@ func (a *NativeArena) Words() []Word {
 	return out
 }
 
-// SetWords overwrites the allocated arena contents from a snapshot taken
-// by Words on an identically laid-out arena. It fails if the snapshot does
-// not match the arena's allocation size.
+// SnapshotWords returns a copy of the arena's physical contents, verifying
+// the quiescence contract: the scan is performed twice and any word that
+// changed between the scans — or any allocation that grew the arena —
+// yields ErrTornSnapshot instead of a silently inconsistent snapshot.
+// (A writer that races the scans without changing any scanned value is
+// indistinguishable from quiescence and harmless by the same token.)
+func (a *NativeArena) SnapshotWords() ([]Word, error) {
+	size := a.bound()
+	out := make([]Word, size)
+	for i := int64(1); i < size; i++ {
+		out[i] = a.words[i].Load()
+	}
+	if a.snapshotHook != nil {
+		a.snapshotHook()
+	}
+	for i := int64(1); i < size; i++ {
+		if a.words[i].Load() != out[i] {
+			return nil, fmt.Errorf("%w: word %d changed mid-scan", ErrTornSnapshot, i)
+		}
+	}
+	if a.bound() != size {
+		return nil, fmt.Errorf("%w: arena grew mid-scan", ErrTornSnapshot)
+	}
+	return out, nil
+}
+
+// SetWords overwrites the arena contents from a snapshot taken by
+// SnapshotWords on an identically laid-out arena (same process count,
+// options and allocation sequence — layouts are deterministic, so a
+// freshly constructed arena of the same configuration qualifies). It fails
+// if the snapshot does not match the arena's physical footprint. Like
+// SnapshotWords, it requires quiescence: no port may operate concurrently.
 func (a *NativeArena) SetWords(ws []Word) error {
-	if int64(len(ws)) != a.next.Load() {
-		return fmt.Errorf("memory: snapshot has %d words, arena has %d allocated", len(ws), a.next.Load())
+	if int64(len(ws)) != a.bound() {
+		return fmt.Errorf("memory: snapshot has %d words, arena has %d allocated", len(ws), a.bound())
 	}
 	for i := 1; i < len(ws); i++ {
 		a.words[i].Store(ws[i])

@@ -19,10 +19,18 @@ import (
 //
 // Snapshot must be taken at a quiescent point: no Lock, Unlock or Passage
 // call may be executing concurrently (a held-but-idle lock is fine — that
-// is precisely the power-failure-while-holding case). Snapshots require
-// node reclamation (the default), which keeps the arena layout fixed.
+// is precisely the power-failure-while-holding case). The contract is
+// enforced by detection, not trust: Snapshot verifies its copy with a
+// double scan of the arena and returns ErrSnapshotConcurrent instead of
+// serializing a torn image. Snapshots require node reclamation (the
+// default), which keeps the arena layout fixed, and the default padded
+// arena layout (not WithUnpaddedArena).
 
-const snapMagic = "RMESNAP1"
+// snapMagic identifies the snapshot format. RMESNAP2 is the cache-line-
+// padded arena layout; RMESNAP1 streams (the old dense layout) are
+// rejected rather than silently misinterpreted, since word addresses
+// moved when the layout changed.
+const snapMagic = "RMESNAP2"
 
 // snapTable is the CRC-64 polynomial for the integrity footer appended to
 // every snapshot: the checksum of header plus body, little-endian, trails
@@ -37,6 +45,10 @@ var (
 	// ErrBadSnapshot is returned by Restore when the stream is not a
 	// valid snapshot.
 	ErrBadSnapshot = errors.New("rme: invalid snapshot stream")
+	// ErrSnapshotConcurrent is returned by Snapshot when the quiescence
+	// contract is violated: a Lock, Unlock or Passage mutated the arena
+	// while the snapshot was being taken, so the copy may be torn.
+	ErrSnapshotConcurrent = errors.New("rme: arena mutated during snapshot (quiescence violated)")
 )
 
 // Snapshot serializes the mutex's shared state to w. See the package
@@ -45,7 +57,13 @@ func (m *Mutex) Snapshot(w io.Writer) error {
 	if !m.cfg.reclamation {
 		return ErrSnapshotUnsupported
 	}
-	words := m.arena.Words()
+	if m.cfg.unpadded {
+		return fmt.Errorf("%w: unpadded arenas are a benchmarking layout only", ErrSnapshotUnsupported)
+	}
+	words, err := m.arena.SnapshotWords()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshotConcurrent, err)
+	}
 	header := make([]byte, 0, 8+5*8)
 	header = append(header, snapMagic...)
 	for _, v := range []uint64{

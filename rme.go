@@ -50,6 +50,8 @@ type config struct {
 	levels      int
 	reclamation bool
 	slack       int
+	capacity    int
+	unpadded    bool
 	fail        FailFunc
 }
 
@@ -71,6 +73,20 @@ func WithoutReclamation() Option { return func(c *config) { c.reclamation = fals
 // WithSlack reserves extra arena words beyond the lock's measured
 // footprint (needed only with WithoutReclamation).
 func WithSlack(words int) Option { return func(c *config) { c.slack = words } }
+
+// WithCapacity sets a floor on the arena's physical capacity in words.
+// The arena is always at least large enough for the lock's measured
+// footprint plus any slack; use this to pre-size for workloads known to
+// allocate more (only meaningful with WithoutReclamation).
+func WithCapacity(words int) Option { return func(c *config) { c.capacity = words } }
+
+// WithUnpaddedArena selects the dense legacy arena layout: allocations
+// are packed contiguously with no cache-line padding or home striping,
+// and ports re-check the arena bound on every instruction. This is the
+// pre-optimization execution path, kept for A/B benchmarking of the
+// cache-line-aware default; it is strictly slower under contention.
+// Snapshot is not supported on unpadded mutexes.
+func WithUnpaddedArena() Option { return func(c *config) { c.unpadded = true } }
 
 // FailFunc is a failure-injection hook for tests and demonstrations: it is
 // consulted before every shared-memory instruction of the lock, with the
@@ -95,20 +111,6 @@ type Mutex struct {
 	arena *memory.NativeArena
 	lock  core.RecoverableLock
 	ports []*memory.NativePort
-}
-
-// countingSpace measures a lock's arena footprint without allocating.
-type countingSpace struct {
-	words int
-}
-
-func (s *countingSpace) Alloc(nwords, home int) memory.Addr {
-	if nwords <= 0 {
-		panic(fmt.Sprintf("rme: Alloc(%d)", nwords))
-	}
-	base := s.words + 1 // word 0 is reserved
-	s.words += nwords
-	return memory.Addr(base)
 }
 
 // New creates a recoverable mutex for n processes.
@@ -151,15 +153,35 @@ func New(n int, opts ...Option) (*Mutex, error) {
 		}
 	}
 
-	// Measure the exact footprint, then build for real.
-	sizer := &countingSpace{}
-	core.NewBALock(sizer, n, cfg.levels, baseFactory, src)
-	capacity := sizer.words + 1 + cfg.slack
-	if !cfg.reclamation && cfg.slack == 0 {
-		capacity += 1 << 16 // room for dynamically allocated queue nodes
+	if cfg.capacity < 0 {
+		return nil, fmt.Errorf("rme: negative capacity %d", cfg.capacity)
 	}
 
-	arena := memory.NewNativeArena(n, capacity)
+	// Measure the exact physical footprint by replaying the allocation
+	// sequence against a sizer with the same layout policy, then build
+	// for real. Construction is deterministic, so the real arena lands
+	// every allocation exactly where the sizer predicted.
+	sizer := memory.NewNativeSizer(n, !cfg.unpadded)
+	core.NewBALock(sizer, n, cfg.levels, baseFactory, src)
+	capacity := sizer.Words() + cfg.slack
+	if !cfg.reclamation {
+		if cfg.slack == 0 {
+			capacity += 1 << 16 // room for dynamically allocated queue nodes
+		} else if !cfg.unpadded {
+			// Padded arenas round dynamic allocations up to whole lines
+			// per home; leave headroom so the requested slack is usable.
+			capacity += (n + 1) * memory.LineWords
+		}
+	}
+	if cfg.capacity > capacity {
+		capacity = cfg.capacity
+	}
+
+	var aopts []memory.NativeOption
+	if cfg.unpadded {
+		aopts = append(aopts, memory.Unpadded())
+	}
+	arena := memory.NewNativeArena(n, capacity, aopts...)
 	m := &Mutex{
 		n:     n,
 		cfg:   cfg,

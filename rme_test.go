@@ -283,11 +283,77 @@ func TestWithoutReclamationGrows(t *testing.T) {
 	}
 }
 
+func TestWithCapacityFloor(t *testing.T) {
+	small, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A capacity below the measured footprint is a no-op floor...
+	m, err := New(2, WithCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Footprint() != small.Footprint() {
+		t.Fatalf("tiny WithCapacity changed the layout: %d vs %d", m.Footprint(), small.Footprint())
+	}
+	// ...and a negative one is rejected.
+	if _, err := New(2, WithCapacity(-1)); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	// A large floor pre-sizes the arena without perturbing addresses: the
+	// lock still works and its footprint (allocated words) is unchanged.
+	big, err := New(2, WithCapacity(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Footprint() != small.Footprint() {
+		t.Fatalf("WithCapacity perturbed the layout: %d vs %d", big.Footprint(), small.Footprint())
+	}
+	if !big.Passage(0, func() {}) {
+		t.Fatal("passage failed on pre-sized arena")
+	}
+}
+
+// TestUnpaddedArenaOption: the legacy dense layout must remain a fully
+// working lock (it is the benchmark baseline), just a smaller one.
+func TestUnpaddedArenaOption(t *testing.T) {
+	padded, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := New(4, WithUnpaddedArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Footprint() >= padded.Footprint() {
+		t.Fatalf("dense layout (%d words) not smaller than padded (%d words)",
+			dense.Footprint(), padded.Footprint())
+	}
+	var wg sync.WaitGroup
+	counter := 0
+	for pid := 0; pid < 4; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				dense.Passage(pid, func() { counter++ })
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if counter != 4*200 {
+		t.Fatalf("unpadded mutex lost increments: %d", counter)
+	}
+}
+
 func TestOptionsCombinations(t *testing.T) {
 	for _, opts := range [][]Option{
 		{WithBase(BaseArbTree), WithLevels(2)},
 		{WithLevels(1)},
 		{WithoutReclamation(), WithSlack(1 << 12)},
+		{WithUnpaddedArena()},
+		{WithUnpaddedArena(), WithoutReclamation(), WithSlack(1 << 12)},
+		{WithCapacity(1 << 14), WithoutReclamation()},
 	} {
 		m, err := New(3, opts...)
 		if err != nil {
