@@ -25,6 +25,9 @@
 //	superpassage Section 7.3: super-passage cost under repeated self-crashes
 //	native       wall-clock throughput of the sync/atomic backend,
 //	             padded vs unpadded arena (the BENCH_native.json source)
+//	metrics      exact CC-model RMR and level distributions per passage on
+//	             the native backend, swept over workers at F=0 and over
+//	             injected unsafe failures F (the BENCH_metrics.json source)
 //	all          everything above, in order
 //
 // With -json, tables (and the native report) are emitted as JSON documents
@@ -51,12 +54,14 @@ func main() {
 		seed     = flag.Int64("seed", 21, "seed for single-run figures")
 		csv      = flag.Bool("csv", false, "emit tables as CSV (figures stay textual)")
 		jsonOut  = flag.Bool("json", false, "emit tables and the native report as JSON")
-		workers  = flag.Int("workers", 8, "native: max concurrent workers (swept 1,2,4,...)")
+		workers  = flag.Int("workers", 8, "native/metrics: max concurrent workers (swept 1,2,4,...)")
 		passages = flag.Int("passages", 20000, "native: passages per measurement")
 		reps     = flag.Int("reps", 3, "native: repetitions per measurement (best kept)")
+		mpass    = flag.Int("mpassages", 5000, "metrics: passages per measurement")
+		mfail    = flag.String("mfailures", "1,2,4,8,16,32", "metrics: comma-separated injected failure budgets F")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native metrics all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,16 +83,26 @@ func main() {
 		}
 		seedList = append(seedList, v)
 	}
+	var failList []int
+	for _, s := range strings.Split(*mfail, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "rmebench: bad failure budget %q\n", s)
+			os.Exit(2)
+		}
+		failList = append(failList, v)
+	}
 	opts := bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList}
 	nopts := bench.NativeOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
+	mopts := bench.MetricsOpts{MaxWorkers: *workers, Passages: *mpass, Failures: failList}
 
-	if err := run(flag.Arg(0), opts, nopts, *seed, *csv, *jsonOut); err != nil {
+	if err := run(flag.Arg(0), opts, nopts, mopts, *seed, *csv, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts bench.Opts, nopts bench.NativeOpts, seed int64, csv, jsonOut bool) error {
+func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, seed int64, csv, jsonOut bool) error {
 	show := func(t *bench.Table) error {
 		switch {
 		case jsonOut:
@@ -151,11 +166,25 @@ func run(exp string, opts bench.Opts, nopts bench.NativeOpts, seed int64, csv, j
 			return nil
 		}
 		return show(rep.Table())
+	case "metrics":
+		rep, err := bench.PassageMetrics(mopts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			raw, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		return show(rep.Table())
 	case "all":
 		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
 			"adaptivity", "escalation", "batch", "resp", "components", "scale",
-			"ablation", "reclaim", "superpassage", "native"} {
-			if err := run(e, opts, nopts, seed, csv, jsonOut); err != nil {
+			"ablation", "reclaim", "superpassage", "native", "metrics"} {
+			if err := run(e, opts, nopts, mopts, seed, csv, jsonOut); err != nil {
 				return err
 			}
 			fmt.Println()

@@ -135,6 +135,11 @@ func main() {
 	if spec.SlowLabels != nil {
 		fmt.Printf("max level reached %d of %d\n", check.MaxDepth(res, spec.SlowLabels(*n)), spec.Levels(*n))
 	}
+	levels := 1
+	if spec.Levels != nil {
+		levels = spec.Levels(*n)
+	}
+	fmt.Printf("metrics     %s\n", res.MetricsSnapshot(levels))
 
 	var checkErr error
 	switch spec.Strength {

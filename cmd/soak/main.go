@@ -19,6 +19,7 @@ import (
 
 	"rme/internal/check"
 	"rme/internal/memory"
+	"rme/internal/metrics"
 	"rme/internal/repro"
 	"rme/internal/sim"
 	"rme/internal/workload"
@@ -84,9 +85,16 @@ func (c *campaign) report(spec workload.Spec, model memory.Model, seed int64, ob
 // run executes the campaign and returns (runs, violations).
 func (c *campaign) run() (int, int) {
 	runs, failures := 0, 0
+	agg := map[string]metrics.Snapshot{}
+	var order []string
 	for _, spec := range c.specs {
 		if spec.Strength == workload.NonRecoverable {
 			continue
+		}
+		order = append(order, spec.Name)
+		levels := 1
+		if spec.Levels != nil {
+			levels = spec.Levels(c.n)
 		}
 		for _, model := range []memory.Model{memory.CC, memory.DSM} {
 			for seed := int64(0); seed < int64(c.seeds); seed++ {
@@ -96,6 +104,9 @@ func (c *campaign) run() (int, int) {
 				}
 				res, err := r.Run()
 				runs++
+				if err == nil {
+					agg[spec.Name] = agg[spec.Name].Merge(res.MetricsSnapshot(levels))
+				}
 				var cerr error
 				switch {
 				case err != nil:
@@ -119,6 +130,10 @@ func (c *campaign) run() (int, int) {
 				fmt.Fprintf(c.stdout, "  repro written to %s (replay: rmesim -repro %s)\n", path, path)
 			}
 		}
+	}
+	fmt.Fprintln(c.stdout, "metrics (aggregated over models and seeds):")
+	for _, name := range order {
+		fmt.Fprintf(c.stdout, "  %-12s %s\n", name, agg[name])
 	}
 	fmt.Fprintf(c.stdout, "soak: %d runs, %d violations\n", runs, failures)
 	return runs, failures

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rme"
+	"rme/internal/metrics"
+)
+
+// TestNativeWarmupPerLayout pins the warmup discipline through the
+// stubbed runner: each layout gets its own discarded warmup (reduced
+// passage count) before any timed rep of either layout, and the timed
+// reps then interleave A/B. A shared warmup would bias whichever layout
+// ran its first timed rep cold.
+func TestNativeWarmupPerLayout(t *testing.T) {
+	type call struct {
+		layout   string
+		passages int
+	}
+	var calls []call
+	orig := nativeRunner
+	nativeRunner = func(layout string, workers, passages int, opts []rme.Option) (time.Duration, error) {
+		calls = append(calls, call{layout, passages})
+		return time.Millisecond, nil
+	}
+	defer func() { nativeRunner = orig }()
+
+	const passages, reps = 400, 3
+	if _, err := Native(NativeOpts{MaxWorkers: 1, Passages: passages, Reps: reps}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2 locks × 1 worker count × (2 warmups + 2 layouts × reps).
+	perConfig := 2 + 2*reps
+	if len(calls) != 2*perConfig {
+		t.Fatalf("%d runner calls, want %d", len(calls), 2*perConfig)
+	}
+	for lock := 0; lock < 2; lock++ {
+		seq := calls[lock*perConfig : (lock+1)*perConfig]
+		// The first two calls are the warmups, one per layout, at
+		// reduced scale.
+		warmed := map[string]bool{}
+		for _, c := range seq[:2] {
+			if c.passages != passages/4 {
+				t.Fatalf("warmup ran %d passages, want %d", c.passages, passages/4)
+			}
+			warmed[c.layout] = true
+		}
+		if !warmed["padded"] || !warmed["unpadded"] {
+			t.Fatalf("warmups covered %v, want both layouts", warmed)
+		}
+		// Every timed rep runs at full scale, interleaved A/B.
+		for i, c := range seq[2:] {
+			if c.passages != passages {
+				t.Fatalf("timed rep %d ran %d passages, want %d", i, c.passages, passages)
+			}
+			want := []string{"padded", "unpadded"}[i%2]
+			if c.layout != want {
+				t.Fatalf("timed rep %d measured %s, want %s (A/B interleaving)", i, c.layout, want)
+			}
+		}
+	}
+}
+
+// TestPassageMetricsSweepShape drives the experiment through the stubbed
+// runner and checks the sweep structure: a worker sweep at F=0 and a
+// failure sweep at MaxWorkers, for each lock.
+func TestPassageMetricsSweepShape(t *testing.T) {
+	type call struct {
+		workers  int
+		failures int
+	}
+	var calls []call
+	orig := metricsRunner
+	metricsRunner = func(lockOpts []rme.Option, workers, passages, failures int) (metrics.Snapshot, error) {
+		calls = append(calls, call{workers, failures})
+		return metrics.Snapshot{
+			Passages:  uint64(passages),
+			FastPath:  uint64(passages),
+			LevelHist: []uint64{uint64(passages)},
+			RMRHist:   metrics.Hist{Counts: []uint64{0, 0, 0, uint64(passages)}},
+		}, nil
+	}
+	defer func() { metricsRunner = orig }()
+
+	rep, err := PassageMetrics(MetricsOpts{MaxWorkers: 4, Passages: 100, Failures: []int{2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per lock: workers {1,2,4} at F=0, then F {2,8} at workers=4.
+	want := []call{{1, 0}, {2, 0}, {4, 0}, {4, 2}, {4, 8}}
+	if len(calls) != 2*len(want) {
+		t.Fatalf("%d runner calls, want %d", len(calls), 2*len(want))
+	}
+	for i, c := range calls {
+		if c != want[i%len(want)] {
+			t.Fatalf("call %d = %+v, want %+v", i, c, want[i%len(want)])
+		}
+	}
+	if len(rep.Results) != 2*len(want) {
+		t.Fatalf("%d results, want %d", len(rep.Results), 2*len(want))
+	}
+	for _, r := range rep.Results {
+		if r.RMRMedian != 3 || r.MaxLevel != 1 || r.Passages != 100 {
+			t.Fatalf("snapshot condensation wrong: %+v", r)
+		}
+	}
+}
+
+// TestPassageMetricsRunnerError pins the error path's context string.
+func TestPassageMetricsRunnerError(t *testing.T) {
+	orig := metricsRunner
+	metricsRunner = func(lockOpts []rme.Option, workers, passages, failures int) (metrics.Snapshot, error) {
+		return metrics.Snapshot{}, fmt.Errorf("boom")
+	}
+	defer func() { metricsRunner = orig }()
+	_, err := PassageMetrics(MetricsOpts{MaxWorkers: 1, Passages: 10})
+	if err == nil || !strings.Contains(err.Error(), "metrics ba-log workers=1 F=0") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPassageMetricsSmoke runs the real experiment at miniature scale:
+// schema validity, exact passage accounting, exact injected failure
+// counts, and the failure-free invariants the CI gate asserts at full
+// scale (bounded median RMR, no escalation above level 1 at F=0).
+func TestPassageMetricsSmoke(t *testing.T) {
+	rep, err := PassageMetrics(MetricsOpts{MaxWorkers: 2, Passages: 200, Failures: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "rme-bench-metrics/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	// Per lock: workers {1,2} at F=0 plus F=4 at workers=2.
+	if len(rep.Results) != 2*3 {
+		t.Fatalf("%d results, want 6", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Passages != 200 {
+			t.Fatalf("%s w=%d F=%d: %d passages, want 200", r.Lock, r.Workers, r.Failures, r.Passages)
+		}
+		if r.Crashes != uint64(r.Failures) {
+			t.Fatalf("%s w=%d F=%d: %d crashes injected", r.Lock, r.Workers, r.Failures, r.Crashes)
+		}
+		if r.Failures == 0 {
+			if r.MaxLevel != 1 {
+				t.Fatalf("%s w=%d: escalated to level %d with no failures", r.Lock, r.Workers, r.MaxLevel)
+			}
+			if r.RMRMedian <= 0 || r.RMRMedian > 100 {
+				t.Fatalf("%s w=%d: failure-free median RMR %d outside sanity bounds", r.Lock, r.Workers, r.RMRMedian)
+			}
+		}
+		if r.FastPath+r.SlowPath != r.Passages {
+			t.Fatalf("fast %d + slow %d != passages %d", r.FastPath, r.SlowPath, r.Passages)
+		}
+		var hist uint64
+		for _, v := range r.LevelHist {
+			hist += v
+		}
+		if hist != r.Passages {
+			t.Fatalf("level hist %v sums to %d, want %d", r.LevelHist, hist, r.Passages)
+		}
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc MetricsReport
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	assertRowArity(t, "metrics", rep.Table())
+}
+
+// TestUnsafeInjectorBudget exercises the injector in isolation: exactly
+// budget crashes, each armed by a ":fas" sighting and fired on the
+// process's next instruction.
+func TestUnsafeInjectorBudget(t *testing.T) {
+	inj := newUnsafeInjector(2, 3, 30)
+	crashes := 0
+	for i := 0; i < 200; i++ {
+		pid := i % 2
+		if inj.hook(pid, "F1:fas") {
+			t.Fatal("crash fired on the FAS itself (safe placement)")
+		}
+		if inj.hook(pid, "") {
+			crashes++
+		}
+	}
+	if crashes != 3 {
+		t.Fatalf("%d crashes, want exactly 3", crashes)
+	}
+	// Exhausted budget: never fires again.
+	for i := 0; i < 50; i++ {
+		if inj.hook(0, "F1:fas") || inj.hook(0, "") {
+			t.Fatal("injector fired past its budget")
+		}
+	}
+}

@@ -92,24 +92,29 @@ func Native(o NativeOpts) (*NativeReport, error) {
 				}
 				return opts
 			}
-			// Warm up both layouts (scheduler, allocator, branch caches),
-			// then interleave the timed reps A/B so slow machine-state
-			// drift (frequency scaling, co-tenants) hits both layouts
-			// equally instead of whichever block ran second.
+			// Each layout gets its own discarded warmup (scheduler,
+			// allocator, branch caches) before any timed rep, so neither
+			// layout's first measurement pays cold-start costs the other
+			// didn't. The timed reps are then interleaved A/B so slow
+			// machine-state drift (frequency scaling, co-tenants) hits
+			// both layouts equally instead of whichever block ran second.
+			warm := o.Passages / 4
+			if warm < 1 {
+				warm = 1
+			}
+			for _, layout := range layouts {
+				runtime.GC() // keep collector pauses out of the timed region
+				if _, err := nativeRunner(layout, workers, warm, layoutOpts(layout)); err != nil {
+					return nil, fmt.Errorf("bench: native %s/%s workers=%d: %w", lk.name, layout, workers, err)
+				}
+			}
 			best := map[string]time.Duration{}
-			for rep := 0; rep < o.Reps+1; rep++ {
+			for rep := 0; rep < o.Reps; rep++ {
 				for _, layout := range layouts {
-					passages := o.Passages
-					if rep == 0 {
-						passages = o.Passages / 4
-					}
-					runtime.GC() // keep collector pauses out of the timed region
-					d, err := nativeRun(workers, passages, layoutOpts(layout))
+					runtime.GC()
+					d, err := nativeRunner(layout, workers, o.Passages, layoutOpts(layout))
 					if err != nil {
 						return nil, fmt.Errorf("bench: native %s/%s workers=%d: %w", lk.name, layout, workers, err)
-					}
-					if rep == 0 {
-						continue // warmup, discarded
 					}
 					if best[layout] == 0 || d < best[layout] {
 						best[layout] = d
@@ -130,6 +135,13 @@ func Native(o NativeOpts) (*NativeReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// nativeRunner is the measurement seam: tests stub it to record the
+// warmup/timed call sequence without running real passages. The layout
+// argument exists purely so stubs can attribute calls.
+var nativeRunner = func(layout string, workers, passages int, opts []rme.Option) (time.Duration, error) {
+	return nativeRun(workers, passages, opts)
 }
 
 // nativeRun times `passages` total passages split across `workers`

@@ -60,7 +60,7 @@ func NewSALock(sp memory.Space, n int, name string, core RecoverableLock, src No
 		n:         n,
 		name:      name,
 		filter:    NewWRLock(sp, n, name, src),
-		split:     NewSplitter(sp),
+		split:     NewNamedSplitter(sp, name),
 		core:      core,
 		arb:       yalock.New(sp, n),
 		typ:       make([]memory.Addr, n),

@@ -10,11 +10,25 @@ import "rme/internal/memory"
 // (pid+1) or zero, updated with CAS — a strongly recoverable try-lock.
 type Splitter struct {
 	owner memory.Addr
+	// tryLabel tags the Try CAS ("<name>:try") so metrics harnesses can
+	// count splitter attempts; empty for anonymous splitters.
+	tryLabel string
 }
 
-// NewSplitter allocates a splitter in sp.
+// NewSplitter allocates an anonymous splitter in sp.
 func NewSplitter(sp memory.Space) *Splitter {
-	return &Splitter{owner: sp.Alloc(1, memory.HomeNone)}
+	return NewNamedSplitter(sp, "")
+}
+
+// NewNamedSplitter allocates a splitter whose Try CAS carries the label
+// "<name>:try". SALock names its splitter after itself ("F<k>"), so
+// attempt counts attribute to BA-Lock levels.
+func NewNamedSplitter(sp memory.Space, name string) *Splitter {
+	s := &Splitter{owner: sp.Alloc(1, memory.HomeNone)}
+	if name != "" {
+		s.tryLabel = name + ":try"
+	}
+	return s
 }
 
 // Try attempts to occupy the fast path (the CAS of Algorithm 3 line
@@ -22,6 +36,9 @@ func NewSplitter(sp memory.Space) *Splitter {
 // the CAS outcome itself is deliberately unused so the step is idempotent
 // across failures.
 func (s *Splitter) Try(p memory.Port) {
+	if s.tryLabel != "" {
+		p.Label(s.tryLabel)
+	}
 	p.CAS(s.owner, 0, memory.Word(p.PID()+1)) // rme:nonsensitive(outcome unused; occupancy decided by a later Mine read)
 }
 

@@ -82,6 +82,7 @@ func (l *Lock) Exit(p memory.Port) {
 		}
 		p.Pause()
 	}
+	p.Label("mcs:handoff")
 	p.Write(nxt+offLocked, memory.Bool(false))
 }
 
@@ -139,6 +140,7 @@ func (l *BoundedExit) Exit(p memory.Port) {
 	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil))       // rme:nonsensitive(non-recoverable baseline; detach outcome ignored)
 	p.CAS(node+offNext, memory.FromAddr(memory.Nil), memory.FromAddr(node)) // rme:nonsensitive(non-recoverable baseline; wait-free exit signal)
 	if nxt := memory.AsAddr(p.Read(node + offNext)); nxt != node {
+		p.Label("mcs-dt:handoff")
 		p.Write(nxt+offLocked, memory.Bool(false))
 	}
 }

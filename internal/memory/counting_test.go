@@ -1,0 +1,175 @@
+package memory
+
+import "testing"
+
+// countingPair returns two counting ports over a fresh 2-process native
+// arena sharing one version table, plus a word address allocated for the
+// test.
+func countingPair(t *testing.T, capacity int) (*CountingPort, *CountingPort, Addr) {
+	t.Helper()
+	a := NewNativeArena(2, capacity)
+	vt := NewVersionTable(a.Capacity())
+	p0 := CountPort(a.Port(0, nil), vt, nil)
+	p1 := CountPort(a.Port(1, nil), vt, nil)
+	w := p0.Alloc(1, HomeNone)
+	return p0, p1, w
+}
+
+func TestCountingReadCaching(t *testing.T) {
+	p0, _, w := countingPair(t, 64)
+
+	// First read: miss.
+	p0.Read(w)
+	if c := p0.Counts(); c.Ops != 1 || c.RMRs != 1 {
+		t.Fatalf("after first read: %+v, want Ops=1 RMRs=1", c)
+	}
+	// Repeat reads: hits.
+	for i := 0; i < 5; i++ {
+		p0.Read(w)
+	}
+	if c := p0.Counts(); c.Ops != 6 || c.RMRs != 1 {
+		t.Fatalf("after cached reads: %+v, want Ops=6 RMRs=1", c)
+	}
+}
+
+func TestCountingWriteInvalidates(t *testing.T) {
+	p0, p1, w := countingPair(t, 64)
+
+	p0.Read(w) // p0 caches w
+	p1.Read(w) // p1 caches w
+	p1.Write(w, 7)
+	// p1 retains a valid copy after its own write.
+	p1.Read(w)
+	if c := p1.Counts(); c.Ops != 3 || c.RMRs != 2 {
+		t.Fatalf("writer counts %+v, want Ops=3 RMRs=2 (read miss, write, read hit)", c)
+	}
+	// p0's copy was invalidated by p1's write.
+	p0.Read(w)
+	if c := p0.Counts(); c.Ops != 2 || c.RMRs != 2 {
+		t.Fatalf("invalidated reader counts %+v, want Ops=2 RMRs=2", c)
+	}
+}
+
+func TestCountingRMWAlwaysRemote(t *testing.T) {
+	p0, p1, w := countingPair(t, 64)
+
+	p0.Write(w, 1)
+	p0.FAS(w, 2) // RMW is an RMR even with a valid local copy
+	if !p0.CAS(w, 2, 3) {
+		t.Fatalf("CAS(2,3) failed")
+	}
+	if p0.CAS(w, 99, 4) {
+		t.Fatalf("CAS(99,4) succeeded")
+	}
+	if c := p0.Counts(); c.Ops != 4 || c.RMRs != 4 {
+		t.Fatalf("RMW counts %+v, want Ops=4 RMRs=4 (failed CAS still charged)", c)
+	}
+	// The failed CAS still invalidated p1 — and before that p1 never
+	// cached w, so its first read misses either way; use two reads
+	// bracketing another p0 RMW to observe invalidation specifically.
+	p1.Read(w)
+	p0.FAS(w, 5)
+	p1.Read(w)
+	if c := p1.Counts(); c.Ops != 2 || c.RMRs != 2 {
+		t.Fatalf("reader counts %+v, want Ops=2 RMRs=2 (FAS invalidated)", c)
+	}
+}
+
+func TestCountingInvalidateCache(t *testing.T) {
+	p0, _, w := countingPair(t, 64)
+
+	p0.Read(w)
+	p0.InvalidateCache() // models a crash: private cache state is lost
+	p0.Read(w)
+	if c := p0.Counts(); c.Ops != 2 || c.RMRs != 2 {
+		t.Fatalf("counts %+v, want Ops=2 RMRs=2 after cache drop", c)
+	}
+}
+
+func TestCountingLabelHook(t *testing.T) {
+	a := NewNativeArena(1, 64)
+	vt := NewVersionTable(a.Capacity())
+	var got []string
+	p := CountPort(a.Port(0, nil), vt, func(l string) { got = append(got, l) })
+	w := p.Alloc(1, 0)
+	p.Label("x:fas")
+	p.FAS(w, 1)
+	p.Label("") // empty labels are not observed
+	p.Write(w, 2)
+	if len(got) != 1 || got[0] != "x:fas" {
+		t.Fatalf("observed labels %q, want [x:fas]", got)
+	}
+}
+
+func TestCountingLabelForwardsToFailHook(t *testing.T) {
+	// The label must reach the inner port before the instruction runs, so
+	// label-targeted failure injection still works through the wrapper.
+	a := NewNativeArena(1, 64)
+	var seen string
+	port := a.Port(0, func(pid int, op OpInfo) bool {
+		seen = op.Label
+		return false
+	})
+	vt := NewVersionTable(a.Capacity())
+	p := CountPort(port, vt, nil)
+	w := p.Alloc(1, 0)
+	p.Label("probe:fas")
+	p.FAS(w, 1)
+	if seen != "probe:fas" {
+		t.Fatalf("fail hook saw label %q, want probe:fas", seen)
+	}
+}
+
+func TestCountingCrashAbortedOpNotCounted(t *testing.T) {
+	a := NewNativeArena(1, 64)
+	fire := false
+	port := a.Port(0, func(pid int, op OpInfo) bool { return fire })
+	vt := NewVersionTable(a.Capacity())
+	p := CountPort(port, vt, nil)
+	w := p.Alloc(1, 0)
+	p.Write(w, 1)
+	fire = true
+	func() {
+		defer func() {
+			if _, ok := recover().(ErrCrash); !ok {
+				t.Fatalf("expected ErrCrash panic")
+			}
+		}()
+		p.Write(w, 2)
+	}()
+	if c := p.Counts(); c.Ops != 1 || c.RMRs != 1 {
+		t.Fatalf("counts %+v, want Ops=1 RMRs=1 (aborted write uncounted)", c)
+	}
+}
+
+func TestCountingPortForwards(t *testing.T) {
+	a := NewNativeArena(3, 64)
+	vt := NewVersionTable(a.Capacity())
+	p := CountPort(a.Port(2, nil), vt, nil)
+	if p.PID() != 2 || p.N() != 3 {
+		t.Fatalf("PID/N = %d/%d, want 2/3", p.PID(), p.N())
+	}
+	p.Pause() // must not panic
+	if vt.Words() != a.Capacity() {
+		t.Fatalf("vt.Words() = %d, want %d", vt.Words(), a.Capacity())
+	}
+}
+
+func TestCountingConstructorPanics(t *testing.T) {
+	a := NewNativeArena(1, 64)
+	vt := NewVersionTable(a.Capacity())
+	for name, f := range map[string]func(){
+		"nil inner": func() { CountPort(nil, vt, nil) },
+		"nil table": func() { CountPort(a.Port(0, nil), nil, nil) },
+		"zero vt":   func() { NewVersionTable(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -204,6 +204,11 @@ func (a *NativeArena) Alloc(nwords int, home int) Addr { return a.alloc(nwords, 
 // under the default layout.
 func (a *NativeArena) Size() int { return int(a.bound()) }
 
+// Capacity returns the arena's fixed physical capacity in words — the
+// upper bound on every address it can ever hand out. VersionTables for
+// CC-exact RMR accounting are sized with it.
+func (a *NativeArena) Capacity() int { return int(a.limit) }
+
 // Peek reads a word without synchronizing with concurrent writers beyond
 // the atomicity of the load. Debug use only.
 func (a *NativeArena) Peek(addr Addr) Word { return a.words[addr].Load() }

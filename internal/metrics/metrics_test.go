@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rme/internal/memory"
+)
+
+// rig is a recorder over a fresh native arena with n processes, with all
+// ports wrapped.
+type rig struct {
+	rec   *Recorder
+	ports []*memory.CountingPort
+	words []memory.Addr
+}
+
+func newRig(t *testing.T, n, levels int) *rig {
+	t.Helper()
+	a := memory.NewNativeArena(n, 256)
+	r := NewRecorder(n, levels, a.Capacity())
+	g := &rig{rec: r}
+	for pid := 0; pid < n; pid++ {
+		g.ports = append(g.ports, r.Port(a.Port(pid, nil)))
+	}
+	for pid := 0; pid < n; pid++ {
+		g.words = append(g.words, g.ports[0].Alloc(1, pid))
+	}
+	return g
+}
+
+func TestRecorderFastPassage(t *testing.T) {
+	g := newRig(t, 2, 4)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Write(g.words[0], 1) // 1 RMR
+	p.Read(g.words[0])     // cached: 0 RMRs
+	p.Read(g.words[1])     // miss: 1 RMR
+	r.PassageEnd(0)
+
+	s := r.Snapshot()
+	if s.Passages != 1 || s.FastPath != 1 || s.SlowPath != 0 {
+		t.Fatalf("snapshot %+v, want 1 fast passage", s)
+	}
+	if s.RMRs != 2 || s.Ops != 3 {
+		t.Fatalf("RMRs=%d Ops=%d, want 2/3", s.RMRs, s.Ops)
+	}
+	if got := s.RMRHist.Counts[2]; got != 1 {
+		t.Fatalf("RMR hist bucket 2 = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(s.LevelHist, []uint64{1, 0, 0, 0}) {
+		t.Fatalf("level hist %v, want [1 0 0 0]", s.LevelHist)
+	}
+	if s.MaxLevel() != 1 {
+		t.Fatalf("MaxLevel = %d, want 1", s.MaxLevel())
+	}
+}
+
+func TestRecorderSlowPassageLevels(t *testing.T) {
+	g := newRig(t, 1, 6)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Label("F1:slow") // level 1's slow path → passage reached level 2
+	p.Write(g.words[0], 1)
+	p.Label("F2:slow") // deeper: level 3
+	p.Write(g.words[0], 2)
+	p.Label("F1:slow") // shallower than current deepest: ignored
+	p.Write(g.words[0], 3)
+	r.PassageEnd(0)
+
+	s := r.Snapshot()
+	if s.SlowPath != 1 || s.FastPath != 0 {
+		t.Fatalf("snapshot %+v, want 1 slow passage", s)
+	}
+	if s.MaxLevel() != 3 {
+		t.Fatalf("MaxLevel = %d, want 3", s.MaxLevel())
+	}
+	if s.LevelHist[2] != 1 {
+		t.Fatalf("level hist %v, want passage at level 3", s.LevelHist)
+	}
+}
+
+func TestRecorderLabelKinds(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Label("F0:fas")
+	p.FAS(g.words[0], 1)
+	p.Label("F0:try")
+	p.CAS(g.words[0], 1, 2)
+	p.Label("mcs:handoff") // unknown suffix: ignored
+	p.Write(g.words[0], 3)
+	p.Label("Fx:slow") // malformed level: ignored, not a crash
+	p.Write(g.words[0], 4)
+	r.PassageEnd(0)
+
+	s := r.Snapshot()
+	if s.FilterFAS != 1 || s.SplitterTries != 1 {
+		t.Fatalf("FilterFAS=%d SplitterTries=%d, want 1/1", s.FilterFAS, s.SplitterTries)
+	}
+	if s.MaxLevel() != 1 {
+		t.Fatalf("MaxLevel = %d, want 1 (malformed slow label ignored)", s.MaxLevel())
+	}
+}
+
+func TestRecorderCrashAndRecovery(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Write(g.words[0], 1)
+	r.Crash(0) // mid-passage crash: fragment traffic counted, no passage
+
+	s := r.Snapshot()
+	if s.Passages != 0 || s.Crashes != 1 || s.RMRs != 1 {
+		t.Fatalf("after crash: %+v, want 0 passages, 1 crash, 1 RMR", s)
+	}
+	if s.RMRHist.Total() != 0 {
+		t.Fatalf("crashed fragment entered the RMR histogram: %+v", s.RMRHist)
+	}
+
+	r.PassageStart(0) // the recovery passage
+	p.Read(g.words[0])
+	r.PassageEnd(0)
+
+	s = r.Snapshot()
+	if s.Recoveries != 1 || s.Passages != 1 {
+		t.Fatalf("after recovery: %+v, want 1 recovery, 1 passage", s)
+	}
+	// The crash dropped the cache, so the read was an RMR.
+	if s.RMRs != 2 {
+		t.Fatalf("RMRs = %d, want 2 (post-crash read is a miss)", s.RMRs)
+	}
+}
+
+func TestRecorderReStartClosesOpenPassage(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Write(g.words[0], 1)
+	r.PassageStart(0) // unwound without Crash: folded into totals, no passage
+	p.Write(g.words[0], 2)
+	r.PassageEnd(0)
+
+	s := r.Snapshot()
+	if s.Passages != 1 || s.RMRs != 2 {
+		t.Fatalf("snapshot %+v, want 1 passage, 2 RMRs", s)
+	}
+	if got := s.RMRHist.Counts[1]; got != 1 {
+		t.Fatalf("second passage cost bucket: hist %+v", s.RMRHist.Counts[:4])
+	}
+}
+
+func TestRecorderEndWithoutStartIgnored(t *testing.T) {
+	g := newRig(t, 1, 2)
+	g.rec.PassageEnd(0)
+	if s := g.rec.Snapshot(); s.Passages != 0 {
+		t.Fatalf("phantom passage recorded: %+v", s)
+	}
+}
+
+func TestRecorderHistOverflow(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	for i := 0; i < RMRBuckets+10; i++ {
+		p.Write(g.words[0], memory.Word(i))
+	}
+	r.PassageEnd(0)
+
+	s := r.Snapshot()
+	if got := s.RMRHist.Counts[RMRBuckets-1]; got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+	if q := s.RMRHist.Quantile(0.5); q != RMRBuckets-1 {
+		t.Fatalf("median = %d, want clamped %d", q, RMRBuckets-1)
+	}
+}
+
+func TestRecorderClamps(t *testing.T) {
+	if r := NewRecorder(1, 0, 8); r.Levels() != 1 {
+		t.Fatalf("levels clamp low: %d", r.Levels())
+	}
+	if r := NewRecorder(1, MaxLevels+5, 8); r.Levels() != MaxLevels {
+		t.Fatalf("levels clamp high: %d", r.Levels())
+	}
+	if r := NewRecorder(3, 2, 8); r.N() != 3 {
+		t.Fatalf("N = %d", r.N())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("NewRecorder(0,...) did not panic")
+			}
+		}()
+		NewRecorder(0, 1, 8)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("out-of-range pid did not panic")
+			}
+		}()
+		NewRecorder(1, 1, 8).PassageStart(5)
+	}()
+}
+
+func TestHistQuantileAndMean(t *testing.T) {
+	h := Hist{Counts: []uint64{0, 4, 0, 4, 0}} // values: 1×4, 3×4
+	if h.Total() != 8 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("median %d, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 3 {
+		t.Fatalf("p99 %d, want 3", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 %d, want 1 (first sample)", q)
+	}
+	if m := h.Mean(); m != 2 {
+		t.Fatalf("mean %v, want 2", m)
+	}
+	empty := Hist{}
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatalf("empty hist quantile/mean not zero")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{
+		Passages: 2, Crashes: 1, Recoveries: 1, FastPath: 1, SlowPath: 1,
+		SplitterTries: 3, FilterFAS: 2, RMRs: 10, Ops: 20,
+		LevelHist: []uint64{1, 1},
+		RMRHist:   Hist{Counts: []uint64{0, 1, 1}},
+	}
+	b := Snapshot{
+		Passages: 1, FastPath: 1, RMRs: 4, Ops: 5,
+		LevelHist: []uint64{1, 0, 0, 1},
+		RMRHist:   Hist{Counts: []uint64{1, 0, 0, 0, 1}},
+	}
+	m := a.Merge(b)
+	if m.Passages != 3 || m.RMRs != 14 || m.Ops != 25 || m.Crashes != 1 {
+		t.Fatalf("merged scalars wrong: %+v", m)
+	}
+	if !reflect.DeepEqual(m.LevelHist, []uint64{2, 1, 0, 1}) {
+		t.Fatalf("merged levels %v", m.LevelHist)
+	}
+	if !reflect.DeepEqual(m.RMRHist.Counts, []uint64{1, 1, 1, 0, 1}) {
+		t.Fatalf("merged hist %v", m.RMRHist.Counts)
+	}
+	// a and b themselves are unchanged (Merge copies).
+	if !reflect.DeepEqual(a.LevelHist, []uint64{1, 1}) {
+		t.Fatalf("Merge mutated its receiver: %v", a.LevelHist)
+	}
+	// Overflow buckets stay overflow when the destination is wider.
+	short := Snapshot{RMRHist: Hist{Counts: []uint64{0, 5}}} // 5 samples ≥ 1
+	wide := Snapshot{RMRHist: Hist{Counts: []uint64{0, 0, 0, 0}}}
+	if got := wide.Merge(short).RMRHist.Counts; got[3] != 5 {
+		t.Fatalf("short overflow landed at %v, want in final bucket", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+	r.PassageStart(0)
+	p.Label("s:try")
+	p.Write(g.words[0], 1)
+	r.PassageEnd(0)
+	s := r.Snapshot().String()
+	for _, want := range []string{"passages=1", "fast=1", "rmr/passage", "max_level=1", "splitter_tries=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	if s := (Snapshot{}).String(); !strings.Contains(s, "passages=0") {
+		t.Fatalf("empty String() = %q", s)
+	}
+}
+
+func TestRecorderPerProcIsolation(t *testing.T) {
+	g := newRig(t, 3, 2)
+	r := g.rec
+	for pid := 0; pid < 3; pid++ {
+		for i := 0; i <= pid; i++ {
+			r.PassageStart(pid)
+			g.ports[pid].Write(g.words[pid], 1)
+			r.PassageEnd(pid)
+		}
+	}
+	s := r.Snapshot()
+	if s.Passages != 6 {
+		t.Fatalf("passages = %d, want 6", s.Passages)
+	}
+	if s.RMRHist.Counts[1] != 6 {
+		t.Fatalf("hist %v, want six 1-RMR passages", s.RMRHist.Counts[:4])
+	}
+}

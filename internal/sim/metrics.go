@@ -1,0 +1,98 @@
+package sim
+
+import "rme/internal/metrics"
+
+// MetricsSnapshot exports the run's logical-step statistics through the
+// same snapshot type the native backend's metrics layer produces, so
+// simulated and measured numbers are directly comparable.
+//
+// Passage counts, crash counts, the RMR totals and the RMR-per-passage
+// histogram come from the per-passage statistics and are always
+// populated. The label-derived fields — level distribution, fast/slow
+// split, splitter tries, filter acquisitions — require the instruction
+// stream and are only populated when the run was configured with
+// Config.RecordOps; otherwise they are zero and LevelHist is empty.
+//
+// levels sets the level-histogram depth (the lock's BA-Lock level count
+// including the base; use 1 for single-level locks). Values < 1 are
+// treated as 1.
+func (r *Result) MetricsSnapshot(levels int) metrics.Snapshot {
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > metrics.MaxLevels {
+		levels = metrics.MaxLevels
+	}
+	s := metrics.Snapshot{
+		Crashes: uint64(len(r.Crashes)),
+		RMRHist: metrics.Hist{Counts: make([]uint64, metrics.RMRBuckets)},
+	}
+
+	for _, ps := range r.Passages {
+		s.Ops += uint64(ps.Ops)
+		s.RMRs += uint64(ps.RMRs)
+		if ps.Crashed {
+			continue
+		}
+		s.Passages++
+		if ps.Attempt > 0 {
+			// A later attempt within the same request: the passage began
+			// with a prior crash to recover from.
+			s.Recoveries++
+		}
+		b := ps.RMRs
+		if b >= metrics.RMRBuckets-1 {
+			b = metrics.RMRBuckets - 1
+		}
+		s.RMRHist.Counts[b]++
+	}
+
+	// Reconstruct per-passage levels from the instruction labels, exactly
+	// as the native recorder observes them, when the history has them.
+	hasOps := false
+	for _, ev := range r.Events {
+		if ev.Kind == EvOp {
+			hasOps = true
+			break
+		}
+	}
+	if !hasOps {
+		return s
+	}
+
+	s.LevelHist = make([]uint64, levels)
+	level := make([]int, r.Config.N)
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case EvPassageStart:
+			level[ev.PID] = 1
+		case EvOp:
+			l := ev.Op.Label
+			switch {
+			case metrics.IsFilterFAS(l):
+				s.FilterFAS++
+			case metrics.IsSplitterTry(l):
+				s.SplitterTries++
+			default:
+				if lvl := metrics.SlowLevel(l); lvl > level[ev.PID] {
+					level[ev.PID] = lvl
+				}
+			}
+		case EvPassageEnd:
+			lvl := level[ev.PID]
+			if lvl < 1 {
+				lvl = 1
+			}
+			for len(s.LevelHist) < lvl {
+				s.LevelHist = append(s.LevelHist, 0)
+			}
+			s.LevelHist[lvl-1]++
+			if lvl == 1 {
+				s.FastPath++
+			} else {
+				s.SlowPath++
+			}
+		}
+	}
+	return s
+}

@@ -28,6 +28,7 @@ import (
 	"rme/internal/core"
 	"rme/internal/grlock"
 	"rme/internal/memory"
+	"rme/internal/metrics"
 	"rme/internal/reclaim"
 )
 
@@ -52,7 +53,9 @@ type config struct {
 	slack       int
 	capacity    int
 	unpadded    bool
+	metrics     bool
 	fail        FailFunc
+	labelFail   LabeledFailFunc
 }
 
 // Option configures New.
@@ -98,6 +101,28 @@ type FailFunc func(pid int) bool
 // WithFailures installs a failure-injection hook.
 func WithFailures(f FailFunc) Option { return func(c *config) { c.fail = f } }
 
+// LabeledFailFunc is a failure-injection hook that also sees the label of
+// the instruction about to execute ("" for unlabeled instructions).
+// Labels mark the algorithm's interesting steps — "F<k>:fas" is level k's
+// sensitive filter fetch-and-store, "F<k>:slow" commits its slow path —
+// so a labeled hook can place crashes at precise algorithmic positions
+// (e.g. immediately after a sensitive FAS, the paper's unsafe failure).
+type LabeledFailFunc func(pid int, label string) bool
+
+// WithLabeledFailures installs a label-aware failure-injection hook. It
+// composes with WithFailures: either hook returning true crashes the
+// process.
+func WithLabeledFailures(f LabeledFailFunc) Option {
+	return func(c *config) { c.labelFail = f }
+}
+
+// WithMetrics enables the passage metrics layer: every port is wrapped
+// with exact CC-model RMR accounting (see internal/metrics) and
+// MetricsSnapshot reports per-passage RMR and level distributions. When
+// the option is absent the lock keeps its unwrapped ports and the only
+// residual cost is one nil check per Lock/Unlock.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
 // Mutex is a recoverable mutual exclusion lock for n processes.
 //
 // Process identifiers are 0..n-1. At any moment at most one goroutine may
@@ -110,7 +135,8 @@ type Mutex struct {
 	cfg   config
 	arena *memory.NativeArena
 	lock  core.RecoverableLock
-	ports []*memory.NativePort
+	ports []memory.Port
+	rec   *metrics.Recorder // nil unless WithMetrics
 }
 
 // New creates a recoverable mutex for n processes.
@@ -187,15 +213,29 @@ func New(n int, opts ...Option) (*Mutex, error) {
 		cfg:   cfg,
 		arena: arena,
 		lock:  core.NewBALock(arena, n, cfg.levels, baseFactory, src),
-		ports: make([]*memory.NativePort, n),
+		ports: make([]memory.Port, n),
 	}
 	var fail memory.FailFunc
-	if cfg.fail != nil {
-		hook := cfg.fail
-		fail = func(pid int, op memory.OpInfo) bool { return hook(pid) }
+	if cfg.fail != nil || cfg.labelFail != nil {
+		plain, labeled := cfg.fail, cfg.labelFail
+		fail = func(pid int, op memory.OpInfo) bool {
+			if plain != nil && plain(pid) {
+				return true
+			}
+			return labeled != nil && labeled(pid, op.Label)
+		}
+	}
+	if cfg.metrics {
+		// cfg.levels SALock filters plus the base lock itself.
+		m.rec = metrics.NewRecorder(n, cfg.levels+1, arena.Capacity())
 	}
 	for i := 0; i < n; i++ {
-		m.ports[i] = arena.Port(i, fail)
+		np := arena.Port(i, fail)
+		if m.rec != nil {
+			m.ports[i] = m.rec.Port(np)
+		} else {
+			m.ports[i] = np
+		}
 	}
 	return m, nil
 }
@@ -206,11 +246,22 @@ func (m *Mutex) N() int { return m.n }
 // Footprint returns the number of shared-memory words the lock occupies.
 func (m *Mutex) Footprint() int { return m.arena.Size() }
 
-func (m *Mutex) port(pid int) *memory.NativePort {
+func (m *Mutex) port(pid int) memory.Port {
 	if pid < 0 || pid >= m.n {
 		panic(fmt.Sprintf("rme: pid %d out of range [0,%d)", pid, m.n))
 	}
 	return m.ports[pid]
+}
+
+// MetricsSnapshot returns the passage metrics accumulated so far. It may
+// be called from any goroutine while passages are in flight (in-flight
+// passages are not included yet). The second result is false when the
+// mutex was built without WithMetrics.
+func (m *Mutex) MetricsSnapshot() (metrics.Snapshot, bool) {
+	if m.rec == nil {
+		return metrics.Snapshot{}, false
+	}
+	return m.rec.Snapshot(), true
 }
 
 // Lock acquires the mutex as process pid, running the Recover and Enter
@@ -222,6 +273,9 @@ func (m *Mutex) port(pid int) *memory.NativePort {
 // at injected failures; use Passage for loop-free handling.
 func (m *Mutex) Lock(pid int) {
 	p := m.port(pid)
+	if m.rec != nil {
+		m.rec.PassageStart(pid)
+	}
 	m.lock.Recover(p)
 	m.lock.Enter(p)
 }
@@ -229,6 +283,9 @@ func (m *Mutex) Lock(pid int) {
 // Unlock releases the mutex as process pid (the Exit segment).
 func (m *Mutex) Unlock(pid int) {
 	m.lock.Exit(m.port(pid))
+	if m.rec != nil {
+		m.rec.PassageEnd(pid)
+	}
 }
 
 // Passage runs one passage: Recover, Enter, the critical section cs, and
@@ -250,6 +307,9 @@ func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
 			return
 		}
 		if crash, crashed := e.(memory.ErrCrash); crashed && crash.PID == pid {
+			if m.rec != nil {
+				m.rec.Crash(pid)
+			}
 			ok = false
 			return
 		}
