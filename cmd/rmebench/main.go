@@ -28,6 +28,9 @@
 //	metrics      exact CC-model RMR and level distributions per passage on
 //	             the native backend, swept over workers at F=0 and over
 //	             injected unsafe failures F (the BENCH_metrics.json source)
+//	tracing      flight-recorder overhead A/B: no recorder vs present-but-
+//	             disabled vs recording, median wall clock per passage
+//	             (the BENCH_tracing.json source; CI bounds off at 5%)
 //	all          everything above, in order
 //
 // With -json, tables (and the native report) are emitted as JSON documents
@@ -95,14 +98,15 @@ func main() {
 	opts := bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList}
 	nopts := bench.NativeOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
 	mopts := bench.MetricsOpts{MaxWorkers: *workers, Passages: *mpass, Failures: failList}
+	topts := bench.TracingOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
 
-	if err := run(flag.Arg(0), opts, nopts, mopts, *seed, *csv, *jsonOut); err != nil {
+	if err := run(flag.Arg(0), opts, nopts, mopts, topts, *seed, *csv, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, seed int64, csv, jsonOut bool) error {
+func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, topts bench.TracingOpts, seed int64, csv, jsonOut bool) error {
 	show := func(t *bench.Table) error {
 		switch {
 		case jsonOut:
@@ -166,6 +170,20 @@ func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.Metric
 			return nil
 		}
 		return show(rep.Table())
+	case "tracing":
+		rep, err := bench.Tracing(topts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			raw, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		return show(rep.Table())
 	case "metrics":
 		rep, err := bench.PassageMetrics(mopts)
 		if err != nil {
@@ -183,8 +201,8 @@ func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.Metric
 	case "all":
 		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
 			"adaptivity", "escalation", "batch", "resp", "components", "scale",
-			"ablation", "reclaim", "superpassage", "native", "metrics"} {
-			if err := run(e, opts, nopts, mopts, seed, csv, jsonOut); err != nil {
+			"ablation", "reclaim", "superpassage", "native", "metrics", "tracing"} {
+			if err := run(e, opts, nopts, mopts, topts, seed, csv, jsonOut); err != nil {
 				return err
 			}
 			fmt.Println()

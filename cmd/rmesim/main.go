@@ -117,7 +117,7 @@ func main() {
 		fmt.Println()
 	}
 	if *timeline {
-		fmt.Println(trace.Timeline(res, 100))
+		fmt.Println(trace.TimelineLevels(res, 100, res.DeepestLevels()))
 	}
 	if *passages {
 		fmt.Println(trace.PassageTable(res))
@@ -180,7 +180,7 @@ func replayArtifact(path string, timeline bool) int {
 	fmt.Printf("recorded    property=%s (%s)\n", a.Property, a.Violation)
 	fmt.Printf("replayed    steps=%d crashes=%d\n", rr.Result.Steps, rr.Result.CrashCount())
 	if timeline {
-		fmt.Println(trace.Timeline(rr.Result, 100))
+		fmt.Println(trace.TimelineLevels(rr.Result, 100, rr.Result.DeepestLevels()))
 	}
 	if rr.Result.CrashCount() > 0 {
 		fmt.Print(trace.CrashTable(rr.Result))

@@ -11,7 +11,10 @@
 //   - spinloop: busy-wait loops re-read through the Port and contain a
 //     step gate (Port.Pause);
 //   - persistfield: persistent-state structs hold memory.Addr words,
-//     never raw Go pointers, maps, or channels that vanish on crash.
+//     never raw Go pointers, maps, or channels that vanish on crash;
+//   - flightemit: flight-recorder emit calls may not appear between a
+//     sensitive FAS and its persisting write — recording must not widen
+//     the crash window (Definition 3.3).
 //
 // Run it standalone:
 //
@@ -26,6 +29,7 @@ package main
 import (
 	"rme/internal/analysis"
 	"rme/internal/analysis/driver"
+	"rme/internal/analysis/passes/flightemit"
 	"rme/internal/analysis/passes/persistfield"
 	"rme/internal/analysis/passes/portdiscipline"
 	"rme/internal/analysis/passes/sensitive"
@@ -38,6 +42,7 @@ var suite = []*analysis.Analyzer{
 	sensitive.Analyzer,
 	spinloop.Analyzer,
 	persistfield.Analyzer,
+	flightemit.Analyzer,
 }
 
 func main() {

@@ -22,8 +22,13 @@ import (
 	"rme/internal/metrics"
 	"rme/internal/repro"
 	"rme/internal/sim"
+	"rme/internal/trace"
 	"rme/internal/workload"
 )
+
+// flightTail bounds the post-mortem flight dump to the last N events per
+// process — the window around the violation, not the whole campaign.
+const flightTail = 256
 
 // campaign parameterizes one soak run; factored out of main so the
 // end-to-end repro pipeline is testable with fixture locks.
@@ -82,6 +87,22 @@ func (c *campaign) report(spec workload.Spec, model memory.Model, seed int64, ob
 	return path, nil
 }
 
+// dumpFlight writes a post-mortem flight recording of the violating run —
+// the last flightTail lifecycle events per process in the rme-flight/v1
+// interchange format, so cmd/rmetrace can render the window around the
+// violation as a Chrome trace or ASCII timeline.
+func (c *campaign) dumpFlight(spec workload.Spec, model memory.Model, seed int64,
+	res *sim.Result, observed error) (string, error) {
+	rec := trace.SimRecording(res).Tail(flightTail)
+	rec.Note = fmt.Sprintf("soak %s/%v seed=%d: %v", spec.Name, model, seed, observed)
+	name := fmt.Sprintf("flight-%s-%v-seed%d.json", spec.Name, model, seed)
+	path := filepath.Join(c.outDir, name)
+	if err := rec.WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // run executes the campaign and returns (runs, violations).
 func (c *campaign) run() (int, int) {
 	runs, failures := 0, 0
@@ -122,6 +143,11 @@ func (c *campaign) run() (int, int) {
 				failures++
 				fmt.Fprintf(c.stdout, "FAIL %s/%v seed=%d (%d crashes): %v\n",
 					spec.Name, model, seed, res.CrashCount(), cerr)
+				if fp, ferr := c.dumpFlight(spec, model, seed, res, cerr); ferr != nil {
+					fmt.Fprintf(c.stdout, "  flight: %v\n", ferr)
+				} else {
+					fmt.Fprintf(c.stdout, "  flight recording → %s (render: rmetrace -timeline %s)\n", fp, fp)
+				}
 				path, rerr := c.report(spec, model, seed, cerr)
 				if rerr != nil {
 					fmt.Fprintf(c.stdout, "  repro: %v\n", rerr)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"rme/internal/check"
+	"rme/internal/flight"
 	"rme/internal/memory"
 	"rme/internal/repro"
 	"rme/internal/sim"
@@ -76,6 +77,33 @@ func TestCampaignWritesShrunkReplayableRepro(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "repro written to") {
 		t.Fatalf("campaign did not announce the artifact; output:\n%s", out.String())
+	}
+
+	// Every violation also dumps a post-mortem flight recording: a valid
+	// rme-flight/v1 file whose streams are bounded by flightTail.
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 {
+		t.Fatalf("no flight dump written; output:\n%s", out.String())
+	}
+	for _, path := range dumps {
+		rec, err := flight.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if rec.Source != flight.SourceSim || rec.Note == "" {
+			t.Fatalf("%s lost provenance: source=%s note=%q", path, rec.Source, rec.Note)
+		}
+		for pid, events := range rec.Procs {
+			if len(events) > flightTail {
+				t.Fatalf("%s p%d has %d events, tail bound is %d", path, pid, len(events), flightTail)
+			}
+		}
+	}
+	if !strings.Contains(out.String(), "flight recording →") {
+		t.Fatalf("campaign did not announce the flight dump; output:\n%s", out.String())
 	}
 }
 

@@ -64,6 +64,48 @@ func ExampleCrash() {
 	// critical section ran 2 times
 }
 
+// WithMetrics attaches the exact RMR accounting layer; MetricsSnapshot
+// reads a tear-free aggregate at any time. Failure-free passages resolve
+// at BA-Lock level 1, the fast path.
+func ExampleWithMetrics() {
+	m, err := rme.New(2, rme.WithMetrics())
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Passage(0, func() {})
+	}
+	s, ok := m.MetricsSnapshot()
+	fmt.Println(ok, s.Passages, s.FastPath, s.Crashes)
+	// Output: true 3 3 0
+}
+
+// WithTracing attaches the flight recorder: per-process rings of compact
+// passage events. FlightRecording snapshots them tear-free; the result
+// serializes to the rme-flight/v1 interchange format that cmd/rmetrace
+// renders as a Chrome trace or ASCII timeline.
+func ExampleWithTracing() {
+	m, err := rme.New(2, rme.WithTracing(rme.TracingOptions{}))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Passage(0, func() {})
+	}
+	rec, ok := m.FlightRecording()
+	if !ok {
+		panic("recorder not configured")
+	}
+	enters := 0
+	for _, ev := range rec.Procs[0] {
+		if ev.Kind.String() == "cs-enter" {
+			enters++
+		}
+	}
+	fmt.Println(rec.Source, rec.Clock, enters)
+	// Output: native ns 3
+}
+
 // Options select the base lock, recursion depth and failure injection.
 func ExampleWithBase() {
 	m, err := rme.New(8,

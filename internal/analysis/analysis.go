@@ -3,7 +3,7 @@
 // analyzers could be ported to the real framework by changing imports
 // only. The repository is stdlib-only by design (see README, "Stdlib
 // only"), so the x/tools module is deliberately not vendored; everything
-// the four rmevet analyzers need — a typed syntax view of one package and
+// the five rmevet analyzers need — a typed syntax view of one package and
 // a diagnostic sink — fits in this file.
 package analysis
 

@@ -9,6 +9,7 @@ import (
 
 	"rme/internal/analysis"
 	"rme/internal/analysis/driver"
+	"rme/internal/analysis/passes/flightemit"
 	"rme/internal/analysis/passes/persistfield"
 	"rme/internal/analysis/passes/portdiscipline"
 	"rme/internal/analysis/passes/sensitive"
@@ -20,6 +21,7 @@ var suite = []*analysis.Analyzer{
 	sensitive.Analyzer,
 	spinloop.Analyzer,
 	persistfield.Analyzer,
+	flightemit.Analyzer,
 }
 
 func needGo(t *testing.T) {
@@ -30,7 +32,7 @@ func needGo(t *testing.T) {
 }
 
 // TestRepoIsClean is the self-enforcement gate: the committed algorithm
-// packages must satisfy all four invariants. A regression here means a
+// packages must satisfy all five invariants. A regression here means a
 // new RMW lost its marker, a spin loop lost its Pause, or similar.
 func TestRepoIsClean(t *testing.T) {
 	needGo(t)

@@ -1,0 +1,135 @@
+// Package flightemit keeps the flight recorder out of the sensitive
+// window. A crash immediately after a sensitive fetch-and-store (an RMW
+// whose effect other processes can already see, Definition 3.3) is the
+// one failure the weakly recoverable algorithms must repair; the repair
+// contract assumes the instruction's result is persisted — written to a
+// word of the arena — as the very next shared-memory step. A
+// flight-recorder emit interposed between the FAS and that persisting
+// write adds instructions inside the crash window the paper's analysis
+// assumes is minimal, and couples recovery correctness to observability
+// code. Recording belongs before the FAS or after the persist, never
+// between.
+//
+// In algorithm packages (test files exempt) the pass reports any call
+// into rme/internal/flight — a method on one of its types or a
+// package-level function — appearing between an rme:sensitive-marked RMW
+// and the next Port.Write in the same function.
+package flightemit
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "flightemit"
+
+// flightPath is the flight recorder's import path.
+const flightPath = "rme/internal/flight"
+
+// Analyzer is the flightemit pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid flight-recorder emit calls between a sensitive FAS and its persist\n\n" +
+		"so recording never widens the crash window the recovery procedures\n" +
+		"are analyzed against (Definition 3.3).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+		sensLines := map[int]bool{}
+		for _, m := range markers.All {
+			if m.Kind == rmeutil.KindSensitive {
+				sensLines[m.Line] = true
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, markers, sensLines)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans the function's calls in source order: after a
+// sensitive RMW, any flight call before the next Port.Write is a
+// finding.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarkers, sensLines map[int]bool) {
+	var calls []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+
+	inWindow := false
+	for _, call := range calls {
+		switch {
+		case rmeutil.IsRMW(pass.TypesInfo, call):
+			// A sensitive marker sits on the RMW's line or the line
+			// above (the attachment rule of the sensitive pass).
+			line := pass.Fset.Position(call.Pos()).Line
+			if sensLines[line] || sensLines[line-1] {
+				inWindow = true
+			}
+		case isFlightCall(pass.TypesInfo, call):
+			if !inWindow {
+				continue
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if !markers.Allowed(name, line) {
+				pass.Reportf(call.Pos(),
+					"flight-recorder emit between a sensitive FAS and its persisting write: recording must not widen the crash window (Definition 3.3); move it before the FAS or after the persist")
+			}
+		default:
+			if recv, method, ok := rmeutil.PortCall(pass.TypesInfo, call); ok && recv == "Port" && method == "Write" {
+				// The persisting write closes the window.
+				inWindow = false
+			}
+		}
+	}
+}
+
+// isFlightCall reports whether call invokes rme/internal/flight — a
+// package-level function or a method on one of its types.
+func isFlightCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, isIdent := sel.X.(*ast.Ident); isIdent {
+		if pkg, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return pkg.Imported().Path() == flightPath
+		}
+	}
+	tv, found := info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == flightPath
+}

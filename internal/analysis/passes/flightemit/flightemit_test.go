@@ -1,0 +1,13 @@
+package flightemit_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/flightemit"
+)
+
+func TestFlightEmit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), flightemit.Analyzer,
+		"rme/internal/core")
+}

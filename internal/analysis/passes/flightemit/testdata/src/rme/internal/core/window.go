@@ -1,0 +1,46 @@
+// rme:sensitive-instructions 4
+package core
+
+import (
+	"rme/internal/flight"
+	"rme/internal/memory"
+)
+
+// exitGood persists the sensitive FAS result before recording: the
+// window stays minimal.
+func exitGood(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1) // rme:sensitive
+	p.Write(pred, temp)
+	fr.Phase(p.PID(), 1, 1) // after the persist: fine
+}
+
+// exitBad emits between the FAS and its persist: the recording call
+// widens the crash window the recovery analysis assumes is minimal.
+func exitBad(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1)  // rme:sensitive
+	fr.Phase(p.PID(), 1, 1) // want `flight-recorder emit between a sensitive FAS and its persisting write`
+	p.Write(pred, temp)
+}
+
+// exitBadPkgFunc: package-level flight functions count as emits too.
+func exitBadPkgFunc(p memory.Port, tail, pred memory.Addr) {
+	temp := p.FAS(tail, 1)       // rme:sensitive
+	flight.Note(p.PID(), "mid")  // want `flight-recorder emit between a sensitive FAS and its persisting write`
+	fr := &flight.Recorder{}     // composite literal, not a call: ignored
+	fr.ObserveLabel(p.PID(), "") // want `flight-recorder emit between a sensitive FAS and its persisting write`
+	p.Write(pred, temp)
+}
+
+// nonsensitiveOK: an emit after an idempotent RMW is outside any window.
+func nonsensitiveOK(p memory.Port, next memory.Addr, fr *flight.Recorder) {
+	// rme:nonsensitive(outcome ignored; the field is re-read, Section 4.3)
+	p.CAS(next, 0, 1)
+	fr.CSEnter(p.PID())
+}
+
+// suppressed documents a deliberate exception with rme:allow.
+func suppressed(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1) // rme:sensitive
+	fr.CSEnter(p.PID())    // rme:allow(flightemit: fixture demonstrating suppression)
+	p.Write(pred, temp)
+}

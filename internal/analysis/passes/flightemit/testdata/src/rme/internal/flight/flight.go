@@ -1,0 +1,19 @@
+// Package flight is a fixture mirror of rme/internal/flight: just enough
+// surface for the flightemit type checks (a Recorder with emit methods
+// and a package-level function).
+package flight
+
+// Recorder records passage events.
+type Recorder struct{ enabled bool }
+
+// Phase records a phase transition.
+func (r *Recorder) Phase(pid int, kind, level int) {}
+
+// ObserveLabel records an instruction label.
+func (r *Recorder) ObserveLabel(pid int, label string) {}
+
+// CSEnter records a critical-section entry.
+func (r *Recorder) CSEnter(pid int) {}
+
+// Note is a package-level emit helper.
+func Note(pid int, msg string) {}

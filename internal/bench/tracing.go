@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"rme"
+)
+
+// The tracing experiment A/B-measures the flight recorder's overhead on
+// the native backend, wall clock per passage, in the three tiers the
+// design promises: "none" (no recorder configured — the single nil check),
+// "off" (recorder present but disabled — one atomic flag load per event
+// site), and "on" (full recording into the per-process rings). Reps are
+// interleaved across the modes so machine-state drift hits all three
+// equally, and the median rep is kept. Results serialize as
+// BENCH_tracing.json (rme-bench-tracing/v1); the CI tracing-gate job
+// asserts the recorder-off median overhead stays ≤ 5%.
+
+// TracingOpts configures the tracing-overhead experiment.
+type TracingOpts struct {
+	// MaxWorkers caps the worker sweep 1, 2, 4, ... (default 8).
+	MaxWorkers int
+	// Passages is the total passage count per measurement (default 20000).
+	Passages int
+	// Reps repeats each measurement, keeping the median (default 5) —
+	// overhead deltas in the few-percent range need a robust statistic,
+	// not the best case.
+	Reps int
+}
+
+func (o *TracingOpts) fill() {
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 8
+	}
+	if o.Passages <= 0 {
+		o.Passages = 20000
+	}
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+}
+
+// TracingResult is one measured configuration.
+type TracingResult struct {
+	Mode           string  `json:"mode"`    // "none", "off", "on"
+	Workers        int     `json:"workers"` // concurrent processes
+	Passages       int     `json:"passages"`
+	NsPerPassage   float64 `json:"ns_per_passage"` // median over reps
+	PassagesPerSec float64 `json:"passages_per_sec"`
+	// OverheadPct is the median-latency delta vs the "none" baseline at
+	// the same worker count, in percent; 0 for the baseline itself.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TracingReport is the BENCH_tracing.json document.
+type TracingReport struct {
+	Schema     string          `json:"schema"` // "rme-bench-tracing/v1"
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Passages   int             `json:"passages_per_measurement"`
+	Reps       int             `json:"reps"`
+	Results    []TracingResult `json:"results"`
+}
+
+// tracingModes orders the three recorder tiers; the order is also the
+// within-rep interleaving order.
+var tracingModes = []string{"none", "off", "on"}
+
+func tracingModeOpts(mode string) []rme.Option {
+	switch mode {
+	case "off":
+		return []rme.Option{rme.WithTracing(rme.TracingOptions{Disabled: true})}
+	case "on":
+		return []rme.Option{rme.WithTracing(rme.TracingOptions{})}
+	default:
+		return nil
+	}
+}
+
+// Tracing sweeps worker counts over the three recorder tiers and reports
+// median wall-clock passage latency with the overhead vs no recorder.
+func Tracing(o TracingOpts) (*TracingReport, error) {
+	o.fill()
+	rep := &TracingReport{
+		Schema:     "rme-bench-tracing/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Passages:   o.Passages,
+		Reps:       o.Reps,
+	}
+	for workers := 1; workers <= o.MaxWorkers; workers *= 2 {
+		// Discarded warmup per mode, then interleaved timed reps — the
+		// same drift-defeating protocol as the native layout benchmark.
+		warm := o.Passages / 4
+		if warm < 1 {
+			warm = 1
+		}
+		for _, mode := range tracingModes {
+			runtime.GC()
+			if _, err := tracingRunner(mode, workers, warm, tracingModeOpts(mode)); err != nil {
+				return nil, fmt.Errorf("bench: tracing %s workers=%d: %w", mode, workers, err)
+			}
+		}
+		samples := map[string][]time.Duration{}
+		for r := 0; r < o.Reps; r++ {
+			for _, mode := range tracingModes {
+				runtime.GC()
+				d, err := tracingRunner(mode, workers, o.Passages, tracingModeOpts(mode))
+				if err != nil {
+					return nil, fmt.Errorf("bench: tracing %s workers=%d: %w", mode, workers, err)
+				}
+				samples[mode] = append(samples[mode], d)
+			}
+		}
+		med := map[string]float64{}
+		for _, mode := range tracingModes {
+			med[mode] = medianNs(samples[mode]) / float64(o.Passages)
+		}
+		base := med["none"]
+		for _, mode := range tracingModes {
+			ns := med[mode]
+			overhead := 0.0
+			if mode != "none" && base > 0 {
+				overhead = (ns - base) / base * 100
+			}
+			rep.Results = append(rep.Results, TracingResult{
+				Mode:           mode,
+				Workers:        workers,
+				Passages:       o.Passages,
+				NsPerPassage:   ns,
+				PassagesPerSec: 1e9 / ns,
+				OverheadPct:    overhead,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// medianNs returns the median of the durations in nanoseconds (mean of
+// the middle two for even counts).
+func medianNs(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return float64(s[mid].Nanoseconds())
+	}
+	return float64(s[mid-1].Nanoseconds()+s[mid].Nanoseconds()) / 2
+}
+
+// tracingRunner is the measurement seam: tests stub it to verify the
+// interleaving protocol and the statistics without running real passages.
+var tracingRunner = func(mode string, workers, passages int, opts []rme.Option) (time.Duration, error) {
+	return nativeRun(workers, passages, opts)
+}
+
+// Table renders the report as a bench table for the text mode.
+func (r *TracingReport) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Flight-recorder overhead (wall clock, GOMAXPROCS=%d, num_cpu=%d, median of %d)",
+			r.GOMAXPROCS, r.NumCPU, r.Reps),
+		Columns: []string{"mode", "workers", "ns/passage", "passages/sec", "overhead %"},
+		Notes: []string{
+			"none: no recorder configured; off: recorder present but disabled; on: full recording",
+			"overhead is vs the none baseline at the same worker count; the CI gate bounds off at 5%",
+		},
+	}
+	for _, res := range r.Results {
+		t.Add(res.Mode, res.Workers,
+			fmt.Sprintf("%.0f", res.NsPerPassage), fmt.Sprintf("%.0f", res.PassagesPerSec),
+			fmt.Sprintf("%+.2f", res.OverheadPct))
+	}
+	return t
+}
+
+// JSON serializes the report (the BENCH_tracing.json format).
+func (r *TracingReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

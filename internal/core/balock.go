@@ -103,6 +103,7 @@ func newBALock(sp memory.Space, n, m int, base BaseFactory, src SourceFactory, m
 			ns = src(sp, n, level)
 		}
 		sa := NewSALock(sp, n, fmt.Sprintf("F%d", level), inner, ns)
+		sa.level = level
 		if memo && level < m {
 			// Committing to the slow path at level k means descending
 			// into level k+1: remember it as the last known level.
@@ -125,6 +126,16 @@ func (b *BALock) Level(k int) *SALock { return b.levels[k-1] }
 
 // Base returns the base lock.
 func (b *BALock) Base() RecoverableLock { return b.base }
+
+// SetPhaseHook installs h (nil removes it) as the observer of pipeline
+// transitions at every level; each level reports with its own 1-based
+// level number, so an escalating passage is visible as filter(1),
+// splitter(1), core(1), filter(2), ... in the hook's event order.
+func (b *BALock) SetPhaseHook(h PhaseHook) {
+	for _, sa := range b.levels {
+		sa.SetPhaseHook(h)
+	}
+}
 
 // Recover implements RecoverableLock; per the composite-lock convention
 // every component recovers immediately before its Enter.

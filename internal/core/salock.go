@@ -46,6 +46,11 @@ type SALock struct {
 	// slowHook, when set (by BALock's level memoization), runs right
 	// after a process commits to the slow path.
 	slowHook func(p memory.Port)
+
+	// level is the 1-based BA-Lock level this instance sits at (1 for a
+	// standalone SALock); phase, when set, observes pipeline transitions.
+	level int
+	phase PhaseHook
 }
 
 // NewSALock allocates a semi-adaptive lock named name for n processes.
@@ -65,6 +70,7 @@ func NewSALock(sp memory.Space, n int, name string, core RecoverableLock, src No
 		arb:       yalock.New(sp, n),
 		typ:       make([]memory.Addr, n),
 		slowLabel: name + ":slow",
+		level:     1,
 	}
 	for i := 0; i < n; i++ {
 		l.typ[i] = sp.Alloc(1, i)
@@ -88,6 +94,16 @@ func (l *SALock) Splitter() *Splitter { return l.split }
 // process to the slow path; harnesses count it to measure escalation.
 func (l *SALock) SlowLabel() string { return l.slowLabel }
 
+// SetPhaseHook installs h (nil removes it) as the observer of this
+// instance's pipeline transitions, reported at this lock's level.
+func (l *SALock) SetPhaseHook(h PhaseHook) { l.phase = h }
+
+func (l *SALock) enterPhase(pid int, ph PhaseKind) {
+	if l.phase != nil {
+		l.phase(pid, ph, l.level)
+	}
+}
+
 func (l *SALock) side(p memory.Port) yalock.Side {
 	if p.Read(l.typ[p.PID()]) == pathSlow {
 		return yalock.Right
@@ -103,9 +119,11 @@ func (l *SALock) Recover(p memory.Port) {}
 func (l *SALock) Enter(p memory.Port) {
 	i := p.PID()
 
+	l.enterPhase(i, PhaseFilter)
 	l.filter.Recover(p)
 	l.filter.Enter(p)
 
+	l.enterPhase(i, PhaseSplitter)
 	if p.Read(l.typ[i]) != pathSlow { // not yet committed to the slow path
 		l.split.Try(p) // attempt to take the fast path
 	}
@@ -115,8 +133,11 @@ func (l *SALock) Enter(p memory.Port) {
 		if l.slowHook != nil {
 			l.slowHook(p)
 		}
+		l.enterPhase(i, PhaseCore)
 		l.core.Recover(p)
 		l.core.Enter(p)
+	} else {
+		l.enterPhase(i, PhaseFast)
 	}
 
 	l.AcquireArbitrator(p)
@@ -128,6 +149,7 @@ func (l *SALock) Enter(p memory.Port) {
 // filter, splitter and core stages the process still holds from before its
 // crash.
 func (l *SALock) AcquireArbitrator(p memory.Port) {
+	l.enterPhase(p.PID(), PhaseArbitrator)
 	side := l.side(p)
 	l.arb.Recover(p, side)
 	l.arb.Enter(p, side)

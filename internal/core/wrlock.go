@@ -34,8 +34,9 @@ type WRLock struct {
 	mine  []memory.Addr
 	pred  []memory.Addr
 
-	src      NodeSource
-	fasLabel string
+	src          NodeSource
+	fasLabel     string
+	handoffLabel string
 }
 
 // NewWRLock allocates a weakly recoverable lock for n processes in sp.
@@ -50,14 +51,15 @@ func NewWRLock(sp memory.Space, n int, name string, src NodeSource) *WRLock {
 		src = AllocSource{}
 	}
 	l := &WRLock{
-		n:        n,
-		name:     name,
-		tail:     sp.Alloc(1, memory.HomeNone),
-		state:    make([]memory.Addr, n),
-		mine:     make([]memory.Addr, n),
-		pred:     make([]memory.Addr, n),
-		src:      src,
-		fasLabel: name + ":fas",
+		n:            n,
+		name:         name,
+		tail:         sp.Alloc(1, memory.HomeNone),
+		state:        make([]memory.Addr, n),
+		mine:         make([]memory.Addr, n),
+		pred:         make([]memory.Addr, n),
+		src:          src,
+		fasLabel:     name + ":fas",
+		handoffLabel: name + ":handoff",
 	}
 	for i := 0; i < n; i++ {
 		// Per-process words live in the process's own memory module so
@@ -164,6 +166,7 @@ func (l *WRLock) Exit(p memory.Port) {
 	if nxt := memory.AsAddr(p.Read(next(node))); nxt != node {
 		// The link was already created; tell the successor to stop
 		// spinning.
+		p.Label(l.handoffLabel)
 		p.Write(locked(nxt), memory.Bool(false))
 	}
 

@@ -1,0 +1,139 @@
+package flight
+
+// Chrome trace-event conversion: turns a Recording into the JSON object
+// format understood by chrome://tracing and by Perfetto's legacy importer
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Each rme process becomes a thread of a single synthetic "rme" process;
+// passages, SALock phases, and critical sections become complete ("X")
+// duration events nested by Perfetto's stack builder, while crash,
+// recover, and handoff become thread-scoped instant ("i") events.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ChromeEvent is one entry of the trace-event array. Fields follow the
+// trace-event format's wire names; Dur and Args are optional by phase.
+type ChromeEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "X" complete, "i" instant, "M" metadata.
+	Ph  string  `json:"ph"`
+	TS  float64 `json:"ts"`            // microseconds
+	Dur float64 `json:"dur,omitempty"` // microseconds, "X" only
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	// S is the instant-event scope ("t" = thread), set for "i" events.
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+}
+
+// ChromeTrace is the top-level trace.json object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromePID is the synthetic process id grouping all rme threads.
+const chromePID = 1
+
+// toMicros converts a recording timestamp to trace microseconds. For the
+// steps clock one scheduler step is rendered as one microsecond, which
+// keeps logical traces readable at Perfetto's default zoom.
+func toMicros(rec *Recording, ts int64) float64 {
+	if rec.Clock == ClockSteps {
+		return float64(ts)
+	}
+	return float64(ts) / 1e3
+}
+
+// openSpan tracks an unterminated "X" event under construction.
+type openSpan struct {
+	name  string
+	cat   string
+	start int64
+	args  map[string]any
+}
+
+// Chrome converts a validated recording to a Chrome trace. Spans that
+// never terminate inside the recorded window (e.g. the ring aged out the
+// closing event) are dropped rather than emitted with a guessed duration,
+// so every produced event is well-formed.
+func Chrome(rec *Recording) (*ChromeTrace, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &ChromeTrace{DisplayTimeUnit: "ns", TraceEvents: []ChromeEvent{}}
+	tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("rme (%s clock)", rec.Clock)},
+	})
+	for pid, events := range rec.Procs {
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("p%d", pid)},
+		})
+		var passage, phase, cs *openSpan
+		closeSpan := func(sp **openSpan, end int64) {
+			if *sp == nil {
+				return
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: (*sp).name, Ph: "X", Cat: (*sp).cat,
+				TS:  toMicros(rec, (*sp).start),
+				Dur: toMicros(rec, end) - toMicros(rec, (*sp).start),
+				PID: chromePID, TID: pid, Args: (*sp).args,
+			})
+			*sp = nil
+		}
+		instant := func(name string, ts int64) {
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: name, Ph: "i", Cat: "flight", S: "t",
+				TS: toMicros(rec, ts), PID: chromePID, TID: pid,
+			})
+		}
+		abandon := func() { passage, phase, cs = nil, nil, nil }
+		for _, ev := range events {
+			switch {
+			case ev.Kind == KindPassageBegin:
+				abandon() // previous end event may have aged out
+				passage = &openSpan{name: "passage", cat: "passage", start: ev.TS}
+			case ev.Kind == KindRecover:
+				instant("recover", ev.TS)
+			case ev.Kind.IsPhase():
+				closeSpan(&phase, ev.TS)
+				phase = &openSpan{
+					name: ev.Kind.String(), cat: "phase", start: ev.TS,
+					args: map[string]any{"level": ev.Level},
+				}
+			case ev.Kind == KindCSEnter:
+				closeSpan(&phase, ev.TS)
+				cs = &openSpan{name: "cs", cat: "cs", start: ev.TS}
+			case ev.Kind == KindCSExit:
+				closeSpan(&cs, ev.TS)
+				phase = &openSpan{name: "exit", cat: "phase", start: ev.TS}
+			case ev.Kind == KindPassageEnd:
+				closeSpan(&phase, ev.TS)
+				closeSpan(&cs, ev.TS)
+				closeSpan(&passage, ev.TS)
+			case ev.Kind == KindCrash:
+				instant("crash", ev.TS)
+				abandon()
+			case ev.Kind == KindHandoff:
+				instant("handoff", ev.TS)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// MarshalIndent renders the trace as indented JSON ready to load into
+// chrome://tracing or ui.perfetto.dev.
+func (tr *ChromeTrace) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

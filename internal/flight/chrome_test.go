@@ -1,0 +1,167 @@
+package flight
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func chromeFixture(t *testing.T) *Recording {
+	t.Helper()
+	r := NewRecorder(2, 64)
+	drive(r, 0)
+	r.PassageBegin(1)
+	r.Phase(1, KindPhaseFilter, 1)
+	r.ObserveLabel(1, "F1:handoff")
+	r.Crash(1)
+	r.PassageBegin(1)
+	r.Phase(1, KindPhaseFilter, 1) // unterminated: passage still in flight
+	return r.Snapshot()
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	rec := chromeFixture(t)
+	tr, err := Chrome(rec)
+	if err != nil {
+		t.Fatalf("Chrome: %v", err)
+	}
+	var (
+		spans, instants, meta int
+		names                 = map[string]int{}
+	)
+	for _, ev := range tr.TraceEvents {
+		names[ev.Name]++
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative duration %v", ev.Name, ev.Dur)
+			}
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Errorf("instant %q scope = %q, want thread", ev.Name, ev.S)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unknown trace phase %q", ev.Ph)
+		}
+		if ev.PID != chromePID {
+			t.Errorf("event %q pid = %d", ev.Name, ev.PID)
+		}
+		if ev.TS < 0 {
+			t.Errorf("event %q ts = %v", ev.Name, ev.TS)
+		}
+	}
+	// p0's complete fast passage: passage + filter + splitter + fast +
+	// arbitrator + cs + exit spans.
+	if spans != 7 {
+		t.Errorf("spans = %d, want 7 (p1's unterminated spans must be dropped)", spans)
+	}
+	// p1: handoff + crash + recover instants.
+	if instants != 3 {
+		t.Errorf("instants = %d, want 3", instants)
+	}
+	// process_name plus one thread_name per process.
+	if meta != 3 {
+		t.Errorf("metadata events = %d, want 3", meta)
+	}
+	for _, want := range []string{"passage", "filter", "splitter", "fast",
+		"arbitrator", "cs", "exit", "crash", "recover", "handoff"} {
+		if names[want] == 0 {
+			t.Errorf("no %q event in trace", want)
+		}
+	}
+}
+
+// TestChromeTraceSchema validates the JSON against the trace-event
+// format's required shape: a traceEvents array whose entries all carry
+// name/ph/ts/pid/tid, with dur on complete events.
+func TestChromeTraceSchema(t *testing.T) {
+	tr, err := Chrome(chromeFixture(t))
+	if err != nil {
+		t.Fatalf("Chrome: %v", err)
+	}
+	data, err := tr.MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace.json is not a JSON object: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("trace.json lacks traceEvents")
+	}
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["traceEvents"], &events); err != nil {
+		t.Fatalf("traceEvents is not an array of objects: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+	for i, ev := range events {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("event %d lacks required field %q", i, field)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatalf("event %d ph: %v", i, err)
+		}
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %d lacks dur", i)
+			}
+			fallthrough
+		case "i":
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("event %d lacks ts", i)
+			}
+		case "M":
+			// metadata: args.name required
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev["args"], &args); err != nil || args.Name == "" {
+				t.Errorf("metadata event %d lacks args.name", i)
+			}
+		default:
+			t.Errorf("event %d has unexpected ph %q", i, ph)
+		}
+	}
+}
+
+func TestChromeStepsClock(t *testing.T) {
+	rec := &Recording{
+		Schema: RecordingSchema, N: 1, Source: SourceSim, Clock: ClockSteps,
+		Dropped: []uint64{0},
+		Procs: [][]Event{{
+			{Seq: 0, TS: 10, Kind: KindPassageBegin},
+			{Seq: 1, TS: 12, Kind: KindCSEnter},
+			{Seq: 2, TS: 15, Kind: KindCSExit},
+			{Seq: 3, TS: 20, Kind: KindPassageEnd},
+		}},
+	}
+	tr, err := Chrome(rec)
+	if err != nil {
+		t.Fatalf("Chrome: %v", err)
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Name == "passage" {
+			if ev.TS != 10 || ev.Dur != 10 {
+				t.Errorf("steps clock passage = ts %v dur %v, want 10/10 (1 step = 1 µs)", ev.TS, ev.Dur)
+			}
+			return
+		}
+	}
+	t.Fatal("no passage span emitted")
+}
+
+func TestChromeRejectsInvalidRecording(t *testing.T) {
+	if _, err := Chrome(&Recording{Schema: "bogus"}); err == nil {
+		t.Error("Chrome accepted an invalid recording")
+	}
+}

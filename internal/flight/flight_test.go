@@ -1,0 +1,329 @@
+package flight
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// drive runs one synthetic fast-path passage for pid.
+func drive(r *Recorder, pid int) {
+	r.PassageBegin(pid)
+	r.Phase(pid, KindPhaseFilter, 1)
+	r.Phase(pid, KindPhaseSplitter, 1)
+	r.Phase(pid, KindPhaseFast, 1)
+	r.Phase(pid, KindPhaseArbitrator, 1)
+	r.CSEnter(pid)
+	r.CSExit(pid)
+	r.PassageEnd(pid)
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(2, 64)
+	drive(r, 0)
+	r.PassageBegin(1)
+	r.Phase(1, KindPhaseFilter, 1)
+	r.Crash(1)
+	r.PassageBegin(1) // recovery passage
+
+	rec := r.Snapshot()
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	wantP0 := []Kind{KindPassageBegin, KindPhaseFilter, KindPhaseSplitter,
+		KindPhaseFast, KindPhaseArbitrator, KindCSEnter, KindCSExit, KindPassageEnd}
+	if got := kinds(rec.Procs[0]); !equalKinds(got, wantP0) {
+		t.Errorf("p0 kinds = %v, want %v", got, wantP0)
+	}
+	wantP1 := []Kind{KindPassageBegin, KindPhaseFilter, KindCrash,
+		KindPassageBegin, KindRecover}
+	if got := kinds(rec.Procs[1]); !equalKinds(got, wantP1) {
+		t.Errorf("p1 kinds = %v, want %v", got, wantP1)
+	}
+	if rec.Dropped[0] != 0 || rec.Dropped[1] != 0 {
+		t.Errorf("dropped = %v, want zeros", rec.Dropped)
+	}
+}
+
+func kinds(events []Event) []Kind {
+	out := make([]Kind, len(events))
+	for i, ev := range events {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func equalKinds(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecorderRingOverwriteCountsDropped(t *testing.T) {
+	r := NewRecorder(1, 4) // tiny ring: 4 slots
+	for i := 0; i < 10; i++ {
+		drive(r, 0) // 8 events per passage
+	}
+	rec := r.Snapshot()
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(rec.Procs[0]) != 4 {
+		t.Errorf("kept %d events, want ring size 4", len(rec.Procs[0]))
+	}
+	if rec.Dropped[0] != 80-4 {
+		t.Errorf("dropped = %d, want %d", rec.Dropped[0], 80-4)
+	}
+	// The survivors are the newest events, with their lifetime Seq.
+	if rec.Procs[0][len(rec.Procs[0])-1].Seq != 79 {
+		t.Errorf("last seq = %d, want 79", rec.Procs[0][len(rec.Procs[0])-1].Seq)
+	}
+}
+
+func TestRecorderDisabledEmitsNothing(t *testing.T) {
+	r := NewRecorder(1, 16)
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("Enabled() = true after SetEnabled(false)")
+	}
+	drive(r, 0)
+	if got := r.Snapshot().Events(); got != 0 {
+		t.Errorf("%d events recorded while disabled", got)
+	}
+	r.SetEnabled(true)
+	drive(r, 0)
+	if got := r.Snapshot().Events(); got != 8 {
+		t.Errorf("%d events after re-enable, want 8", got)
+	}
+}
+
+func TestRecorderCrashAbandonsPhaseSample(t *testing.T) {
+	r := NewRecorder(1, 32)
+	r.PassageBegin(0)
+	r.Phase(0, KindPhaseFilter, 1)
+	r.Crash(0)
+	for _, s := range r.Profile().Phases {
+		if s.Phase == "filter" {
+			t.Errorf("crashed filter span became a sample: %+v", s)
+		}
+	}
+	drive(r, 0)
+	prof := r.Profile()
+	var phases []string
+	for _, s := range prof.Phases {
+		phases = append(phases, s.Phase)
+		if s.Count != 1 {
+			t.Errorf("%s count = %d, want 1", s.Phase, s.Count)
+		}
+		if s.Level != 1 {
+			t.Errorf("%s level = %d, want 1", s.Phase, s.Level)
+		}
+	}
+	want := []string{"filter", "splitter", "fast", "arbitrator", "cs", "exit"}
+	if len(phases) != len(want) {
+		t.Fatalf("profile phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("profile phases = %v, want %v", phases, want)
+		}
+	}
+	if prof.String() == "(no samples)" {
+		t.Error("String() reported no samples")
+	}
+}
+
+func TestProfileQuantiles(t *testing.T) {
+	pp := newProcProfile()
+	// 99 samples at ~16ns (bucket lower bound 8), 1 at ~2^20.
+	for i := 0; i < 99; i++ {
+		pp.record(KindPhaseFilter, 1, 16)
+	}
+	pp.record(KindPhaseFilter, 1, 1<<20)
+	r := NewRecorder(1, 2)
+	r.rings[0].prof = pp
+	prof := r.Profile()
+	if len(prof.Phases) != 1 {
+		t.Fatalf("phases = %+v", prof.Phases)
+	}
+	s := prof.Phases[0]
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50NS != 16 {
+		t.Errorf("p50 = %d, want 16 (log2 bucket lower bound)", s.P50NS)
+	}
+	if s.P99NS != 1<<20 {
+		t.Errorf("p99 = %d, want %d", s.P99NS, 1<<20)
+	}
+	wantMean := (99*16.0 + float64(uint64(1)<<20)) / 100
+	if s.MeanNS != wantMean {
+		t.Errorf("mean = %v, want %v", s.MeanNS, wantMean)
+	}
+}
+
+func TestRecordingWriteReadFile(t *testing.T) {
+	r := NewRecorder(2, 32)
+	drive(r, 0)
+	r.PassageBegin(1)
+	r.Crash(1)
+	rec := r.Snapshot()
+	rec.Note = "test dump"
+
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Note != "test dump" || got.N != 2 || got.Source != SourceNative || got.Clock != ClockNanos {
+		t.Errorf("round-trip header mismatch: %+v", got)
+	}
+	if !equalKinds(kinds(got.Procs[0]), kinds(rec.Procs[0])) {
+		t.Errorf("p0 events changed across round trip")
+	}
+	for pid := range rec.Procs {
+		for i := range rec.Procs[pid] {
+			if got.Procs[pid][i] != rec.Procs[pid][i] {
+				t.Fatalf("p%d event %d: %+v != %+v", pid, i, got.Procs[pid][i], rec.Procs[pid][i])
+			}
+		}
+	}
+}
+
+func TestRecordingValidateRejectsCorruption(t *testing.T) {
+	mk := func() *Recording {
+		r := NewRecorder(1, 16)
+		drive(r, 0)
+		return r.Snapshot()
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Recording)
+	}{
+		{"schema", func(rec *Recording) { rec.Schema = "bogus" }},
+		{"source", func(rec *Recording) { rec.Source = "martian" }},
+		{"clock", func(rec *Recording) { rec.Clock = "furlongs" }},
+		{"shape", func(rec *Recording) { rec.Dropped = nil }},
+		{"kind", func(rec *Recording) { rec.Procs[0][0].Kind = 99 }},
+		{"seq", func(rec *Recording) { rec.Procs[0][1].Seq = rec.Procs[0][0].Seq }},
+		{"ts", func(rec *Recording) { rec.Procs[0][1].TS = rec.Procs[0][0].TS }},
+	}
+	for _, tc := range cases {
+		rec := mk()
+		tc.break_(rec)
+		if err := rec.Validate(); err == nil {
+			t.Errorf("%s corruption passed Validate", tc.name)
+		}
+	}
+}
+
+func TestRecordingTail(t *testing.T) {
+	r := NewRecorder(2, 64)
+	drive(r, 0)
+	drive(r, 0) // 16 events on p0
+	drive(r, 1) // 8 on p1
+	rec := r.Snapshot()
+	tail := rec.Tail(10)
+	if got := len(tail.Procs[0]); got != 10 {
+		t.Errorf("p0 tail = %d events, want 10", got)
+	}
+	if got := len(tail.Procs[1]); got != 8 {
+		t.Errorf("p1 tail = %d events, want 8 (untrimmed)", got)
+	}
+	if tail.Dropped[0] != 6 || tail.Dropped[1] != 0 {
+		t.Errorf("tail dropped = %v, want [6 0]", tail.Dropped)
+	}
+	if err := tail.Validate(); err != nil {
+		t.Errorf("tail Validate: %v", err)
+	}
+	// The original is untouched, and Tail(0) is the identity.
+	if len(rec.Procs[0]) != 16 || rec.Dropped[0] != 0 {
+		t.Error("Tail mutated its receiver")
+	}
+	if rec.Tail(0) != rec {
+		t.Error("Tail(0) copied")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(1); k <= kindMax; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("nonsense"); ok {
+		t.Error("KindFromString accepted nonsense")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind has empty String")
+	}
+}
+
+// TestRaceStressSnapshotTearFreedom is the acceptance-criterion stress:
+// every process records passages flat out while snapshotters race them;
+// every snapshot must validate (strictly monotone per-process timestamps,
+// increasing seqs, known kinds) — i.e. no torn event ever survives.
+// Run with -race.
+func TestRaceStressSnapshotTearFreedom(t *testing.T) {
+	const (
+		procs     = 4
+		passages  = 400
+		snapshots = 50
+		ringSlots = 64 // small ring: constant overwriting under the readers
+	)
+	r := NewRecorder(procs, ringSlots)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < passages; i++ {
+				drive(r, pid)
+				if i%16 == 0 {
+					r.PassageBegin(pid)
+					r.Crash(pid)
+				}
+			}
+		}(pid)
+	}
+	errs := make(chan error, snapshots)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snapshots; i++ {
+			rec := r.Snapshot()
+			if err := rec.Validate(); err != nil {
+				errs <- err
+				return
+			}
+			_ = r.Profile()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent snapshot: %v", err)
+	}
+	// Quiescent final snapshot: nothing in flight, so nothing may be torn
+	// and only ring aging may account for drops.
+	rec := r.Snapshot()
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	for pid, events := range rec.Procs {
+		if len(events) != ringSlots {
+			t.Errorf("p%d kept %d events at quiescence, want full ring %d",
+				pid, len(events), ringSlots)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package flight
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"rme/internal/metrics"
+)
+
+// Profile phases. The five SALock pipeline phases reuse their event kinds;
+// the critical-section and exit spans are profile-only pseudo-phases (they
+// are bounded by CSEnter/CSExit/PassageEnd events, not phase events).
+const (
+	phaseCS   Kind = kindMax + 1
+	phaseExit Kind = kindMax + 2
+)
+
+// profilePhases enumerates every profiled span kind in display order.
+var profilePhases = [numProfilePhases]Kind{
+	KindPhaseFilter, KindPhaseSplitter, KindPhaseFast,
+	KindPhaseCore, KindPhaseArbitrator, phaseCS, phaseExit,
+}
+
+const numProfilePhases = 7
+
+func phaseName(k Kind) string {
+	switch k {
+	case phaseCS:
+		return "cs"
+	case phaseExit:
+		return "exit"
+	default:
+		return k.String()
+	}
+}
+
+func phaseIndex(k Kind) int {
+	for i, p := range profilePhases {
+		if p == k {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("flight: %v is not a profiled phase", k))
+}
+
+// profileBuckets is the number of log2 latency buckets: bucket i holds
+// durations d with bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i). 64
+// buckets cover every possible int64 nanosecond duration.
+const profileBuckets = 64
+
+// procProfile is one process's phase-latency accumulator. The owning
+// process adds samples; Profile() reads the atomics from any goroutine.
+// A sample that straddles a snapshot can at worst be counted with its sum
+// not yet added (or vice versa) for one reading — quantiles come from the
+// bucket counts alone, so they are never torn.
+type procProfile struct {
+	counts [numProfilePhases][metrics.MaxLevels][profileBuckets]atomic.Uint64
+	sums   [numProfilePhases][metrics.MaxLevels]atomic.Uint64
+}
+
+func newProcProfile() *procProfile { return &procProfile{} }
+
+// record adds one span sample of d nanoseconds (or scheduler steps) for
+// phase k at 1-based level lvl.
+func (pp *procProfile) record(k Kind, lvl int, d int64) {
+	if d < 0 {
+		d = 0
+	}
+	if lvl < 1 {
+		lvl = 1
+	}
+	if lvl > metrics.MaxLevels {
+		lvl = metrics.MaxLevels
+	}
+	pi := phaseIndex(k)
+	pp.counts[pi][lvl-1][bits.Len64(uint64(d))].Add(1)
+	pp.sums[pi][lvl-1].Add(uint64(d))
+}
+
+// PhaseStats summarizes the latency distribution of one (phase, level)
+// pair. Quantiles are lower bounds of log2 buckets, so they are exact to
+// within a factor of two — enough to separate "tens of nanoseconds" from
+// "a preemption happened".
+type PhaseStats struct {
+	// Phase is the span name: filter, splitter, fast, core, arbitrator,
+	// cs, or exit.
+	Phase string `json:"phase"`
+	// Level is the 1-based BA-Lock level the span was attributed to.
+	Level int `json:"level"`
+	// Count is the number of completed spans (crashed spans are not
+	// samples).
+	Count uint64 `json:"count"`
+	// P50NS and P99NS are log2-bucket lower-bound quantiles in
+	// nanoseconds.
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// MeanNS is the exact arithmetic mean in nanoseconds.
+	MeanNS float64 `json:"mean_ns"`
+}
+
+// Profile is the phase-latency companion to metrics.Snapshot: where the
+// metrics recorder counts RMRs exactly, the profile answers "where did
+// passages spend wall-clock time, per phase and per escalation level".
+type Profile struct {
+	// Phases holds one entry per (phase, level) pair with at least one
+	// sample, ordered by pipeline position then level.
+	Phases []PhaseStats `json:"phases"`
+}
+
+// quantile returns the lower bound of the bucket containing the q-th
+// sample quantile (0 < q <= 1) of a log2 bucket histogram.
+func quantile(buckets *[profileBuckets]uint64, total uint64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range buckets {
+		seen += c
+		if seen > rank {
+			if i <= 1 {
+				return 0 // bucket 0 = d==0, bucket 1 = d==1
+			}
+			return int64(1) << (i - 1)
+		}
+	}
+	return 0
+}
+
+// Profile aggregates every process's phase-latency histograms into a
+// Profile. It may be called at any time, including while recording.
+func (r *Recorder) Profile() Profile {
+	var out Profile
+	for pi, ph := range profilePhases {
+		for lvl := 0; lvl < metrics.MaxLevels; lvl++ {
+			var merged [profileBuckets]uint64
+			var total, sum uint64
+			for p := range r.rings {
+				pp := r.rings[p].prof
+				for b := 0; b < profileBuckets; b++ {
+					c := pp.counts[pi][lvl][b].Load()
+					merged[b] += c
+					total += c
+				}
+				sum += pp.sums[pi][lvl].Load()
+			}
+			if total == 0 {
+				continue
+			}
+			out.Phases = append(out.Phases, PhaseStats{
+				Phase:  phaseName(ph),
+				Level:  lvl + 1,
+				Count:  total,
+				P50NS:  quantile(&merged, total, 0.50),
+				P99NS:  quantile(&merged, total, 0.99),
+				MeanNS: float64(sum) / float64(total),
+			})
+		}
+	}
+	return out
+}
+
+// String renders the profile as an aligned table, one row per
+// (phase, level) pair.
+func (pr Profile) String() string {
+	if len(pr.Phases) == 0 {
+		return "(no samples)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %5s %10s %12s %12s %12s\n",
+		"phase", "level", "count", "p50_ns", "p99_ns", "mean_ns")
+	rows := append([]PhaseStats(nil), pr.Phases...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Phase != rows[j].Phase {
+			return phaseOrder(rows[i].Phase) < phaseOrder(rows[j].Phase)
+		}
+		return rows[i].Level < rows[j].Level
+	})
+	for _, s := range rows {
+		fmt.Fprintf(&b, "%-10s %5d %10d %12d %12d %12.1f\n",
+			s.Phase, s.Level, s.Count, s.P50NS, s.P99NS, s.MeanNS)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func phaseOrder(name string) int {
+	for i, p := range profilePhases {
+		if phaseName(p) == name {
+			return i
+		}
+	}
+	return len(profilePhases)
+}

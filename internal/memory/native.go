@@ -272,10 +272,11 @@ func (a *NativeArena) Port(pid int, fail FailFunc) *NativePort {
 
 // NativePort is a process's view of a NativeArena.
 type NativePort struct {
-	arena *NativeArena
-	pid   int
-	fail  FailFunc
-	label string
+	arena   *NativeArena
+	pid     int
+	fail    FailFunc
+	label   string
+	onLabel func(label string)
 
 	// bound caches the arena's allocation bound so the hot path validates
 	// addresses with a register compare instead of re-reading the shared
@@ -300,6 +301,14 @@ func (p *NativePort) Alloc(nwords int, home int) Addr { return p.arena.Alloc(nwo
 
 // Label implements Port.
 func (p *NativePort) Label(l string) { p.label = l }
+
+// SetLabelHook installs a callback observing the label of every labeled
+// instruction the port executes, invoked just before the instruction's
+// memory effect (and before any fail-point decision, matching the
+// CountingPort's observation order). The hook runs on the port's
+// goroutine; nil removes it. Observers such as the flight recorder hang
+// off this seam so the unlabeled hot path stays a nil comparison.
+func (p *NativePort) SetLabelHook(h func(label string)) { p.onLabel = h }
 
 // pauseSpinMax bounds the busy-wait ladder: 1<<0 .. 1<<pauseSpinMax empty
 // iterations (63 total) before the port yields the processor and the
@@ -349,6 +358,9 @@ func (p *NativePort) step(k OpKind, addr Addr) {
 	}
 	label := p.label
 	p.label = ""
+	if label != "" && p.onLabel != nil {
+		p.onLabel(label)
+	}
 	if p.fail != nil {
 		op := OpInfo{Kind: k, Addr: addr, Label: label}
 		if p.fail(p.pid, op) {

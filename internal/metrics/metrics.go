@@ -157,6 +157,11 @@ func IsFilterFAS(l string) bool { return strings.HasSuffix(l, ":fas") }
 // attempt.
 func IsSplitterTry(l string) bool { return strings.HasSuffix(l, ":try") }
 
+// IsHandoff reports whether the label marks a lock handoff — the
+// release-side write that passes ownership directly to a waiting
+// successor ("mcs:handoff", "F<k>:handoff", ...).
+func IsHandoff(l string) bool { return strings.HasSuffix(l, ":handoff") }
+
 // label observes one instruction label of process pid. Escalation labels
 // follow the core package's naming: "F<k>:slow" commits level k's slow
 // path (the passage has reached level k+1), "<name>:fas" is a filter

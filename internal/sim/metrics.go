@@ -16,6 +16,37 @@ import "rme/internal/metrics"
 // levels sets the level-histogram depth (the lock's BA-Lock level count
 // including the base; use 1 for single-level locks). Values < 1 are
 // treated as 1.
+// DeepestLevels returns, per process, the deepest BA-Lock level the
+// process reached anywhere in the run, reconstructed from slow-path
+// commitment labels (every process that exists starts at level 1). Like
+// the label-derived MetricsSnapshot fields it needs the instruction
+// stream: without Config.RecordOps it returns nil.
+func (r *Result) DeepestLevels() []int {
+	hasOps := false
+	for _, ev := range r.Events {
+		if ev.Kind == EvOp {
+			hasOps = true
+			break
+		}
+	}
+	if !hasOps || r.Config.N == 0 {
+		return nil
+	}
+	deep := make([]int, r.Config.N)
+	for i := range deep {
+		deep[i] = 1
+	}
+	for _, ev := range r.Events {
+		if ev.Kind != EvOp || ev.PID < 0 || ev.PID >= len(deep) {
+			continue
+		}
+		if lvl := metrics.SlowLevel(ev.Op.Label); lvl > deep[ev.PID] {
+			deep[ev.PID] = lvl
+		}
+	}
+	return deep
+}
+
 func (r *Result) MetricsSnapshot(levels int) metrics.Snapshot {
 	if levels < 1 {
 		levels = 1

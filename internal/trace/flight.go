@@ -1,0 +1,161 @@
+package trace
+
+// Bridges between the simulator's event history, flight recordings, and
+// the shared timeline renderer: SimRecording exports a sim run in the
+// flight interchange format (so cmd/rmetrace and the Chrome converter
+// work on simulated histories too), and FlightTimeline renders a
+// recording — native or converted — as the same ASCII chart Timeline
+// produces, identical in symbol vocabulary.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rme/internal/flight"
+	"rme/internal/metrics"
+	"rme/internal/sim"
+)
+
+// labelLevel parses the 1-based BA-Lock level out of a "F<k>:..." label,
+// defaulting to 1 for single-level locks ("wr:fas", "mcs:handoff", ...).
+func labelLevel(l string) int {
+	if i := strings.IndexByte(l, ':'); i > 1 && l[0] == 'F' {
+		if k, err := strconv.Atoi(l[1:i]); err == nil && k >= 1 {
+			return k
+		}
+	}
+	return 1
+}
+
+// SimRecording converts a simulation history into the flight interchange
+// format: per-process event streams on the logical steps clock, with the
+// SALock phase trajectory reconstructed from instruction labels. Phase
+// events (splitter tries, filter acquisitions, slow-path descents,
+// handoffs) require the run to have been configured with
+// sim.Config.RecordOps; the lifecycle events (passage begin/end, CS
+// enter/exit, crash/recover) are always present.
+func SimRecording(res *sim.Result) *flight.Recording {
+	n := res.Config.N
+	rec := &flight.Recording{
+		Schema:  flight.RecordingSchema,
+		N:       n,
+		Source:  flight.SourceSim,
+		Clock:   flight.ClockSteps,
+		Dropped: make([]uint64, n),
+		Procs:   make([][]flight.Event, n),
+	}
+	if n == 0 {
+		return rec
+	}
+	seq := make([]uint64, n)
+	lastTS := make([]int64, n)
+	for i := range lastTS {
+		lastTS[i] = -1
+	}
+	emit := func(pid int, tick int64, k flight.Kind, level int) {
+		ts := tick
+		if ts <= lastTS[pid] {
+			ts = lastTS[pid] + 1
+		}
+		lastTS[pid] = ts
+		rec.Procs[pid] = append(rec.Procs[pid],
+			flight.Event{Seq: seq[pid], TS: ts, Kind: k, Level: level})
+		seq[pid]++
+	}
+	for _, ev := range res.Events {
+		if ev.PID < 0 || ev.PID >= n {
+			continue
+		}
+		switch ev.Kind {
+		case sim.EvPassageStart:
+			emit(ev.PID, ev.Seq, flight.KindPassageBegin, 0)
+			if ev.Attempt > 0 {
+				// A retry of the same request: this passage recovers from
+				// a crash, exactly the recorder's crashed-flag semantics.
+				emit(ev.PID, ev.Seq, flight.KindRecover, 0)
+			}
+		case sim.EvOp:
+			l := ev.Op.Label
+			switch {
+			case l == "":
+			case metrics.IsSplitterTry(l):
+				emit(ev.PID, ev.Seq, flight.KindPhaseSplitter, labelLevel(l))
+			case metrics.IsFilterFAS(l):
+				emit(ev.PID, ev.Seq, flight.KindPhaseFilter, labelLevel(l))
+			case metrics.IsHandoff(l):
+				emit(ev.PID, ev.Seq, flight.KindHandoff, 0)
+			default:
+				if lvl := metrics.SlowLevel(l); lvl > 1 {
+					// "F<k>:slow" commits level k's slow path: the passage
+					// descends into level k's core (SlowLevel reports the
+					// level it escalates to, k+1).
+					emit(ev.PID, ev.Seq, flight.KindPhaseCore, lvl-1)
+				}
+			}
+		case sim.EvCSEnter:
+			emit(ev.PID, ev.Seq, flight.KindCSEnter, 0)
+		case sim.EvCSExit:
+			emit(ev.PID, ev.Seq, flight.KindCSExit, 0)
+		case sim.EvPassageEnd:
+			emit(ev.PID, ev.Seq, flight.KindPassageEnd, 0)
+		case sim.EvCrash:
+			emit(ev.PID, ev.Seq, flight.KindCrash, 0)
+		}
+	}
+	return rec
+}
+
+// FlightTimeline renders a flight recording as the ASCII timeline chart,
+// one row per process on the recording's clock, using exactly the
+// Timeline symbol set. Phase and handoff events refine the chart's
+// passage segments in the Chrome view; here they are part of ━ passage.
+func FlightTimeline(rec *flight.Recording, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if rec.N == 0 || rec.Events() == 0 {
+		return "(empty recording)\n"
+	}
+	lo, hi := int64(0), int64(0)
+	first := true
+	var events []tlEvent
+	for pid, stream := range rec.Procs {
+		for _, ev := range stream {
+			if first || ev.TS < lo {
+				lo = ev.TS
+			}
+			if first || ev.TS >= hi {
+				hi = ev.TS + 1
+			}
+			first = false
+			var k tlKind
+			switch ev.Kind {
+			case flight.KindPassageBegin:
+				k = tlPassage
+			case flight.KindCSEnter:
+				k = tlCSEnter
+			case flight.KindCSExit:
+				k = tlCSExit
+			case flight.KindPassageEnd:
+				k = tlSatisfied
+			case flight.KindCrash:
+				k = tlCrash
+			default:
+				continue // phases, recover, handoff: inside ━ passage
+			}
+			events = append(events, tlEvent{pid: pid, tick: ev.TS, kind: k})
+		}
+	}
+	rows := renderRows(rec.N, width, lo, hi, events)
+
+	var sb strings.Builder
+	dropped := uint64(0)
+	for _, d := range rec.Dropped {
+		dropped += d
+	}
+	fmt.Fprintf(&sb, "flight timeline (%d events, %d dropped, %s clock, %d columns; %s)\n",
+		rec.Events(), dropped, rec.Clock, width, symLegend)
+	writeRows(&sb, rows, nil)
+	return sb.String()
+}

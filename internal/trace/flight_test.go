@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rme/internal/core"
+	"rme/internal/flight"
+	"rme/internal/grlock"
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+// runBA runs a BA-Lock simulation with the instruction stream recorded,
+// optionally under a crash plan.
+func runBA(t *testing.T, n, requests int, plan sim.FailurePlan) *sim.Result {
+	t.Helper()
+	r, err := sim.New(sim.Config{N: n, Model: memory.CC, Requests: requests,
+		Seed: 11, Plan: plan, RecordOps: true},
+		func(sp memory.Space, nn int) sim.Lock {
+			return core.NewBALock(sp, nn, 2, func(sp memory.Space, nn int) core.RecoverableLock {
+				return grlock.NewTournament(sp, nn)
+			}, nil)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimRecordingLifecycle(t *testing.T) {
+	res := run(t, sim.Config{N: 2, Model: memory.CC, Requests: 2, Seed: 3, RecordOps: true})
+	rec := SimRecording(res)
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if rec.Source != flight.SourceSim || rec.Clock != flight.ClockSteps {
+		t.Fatalf("header %+v", rec)
+	}
+	for pid, events := range rec.Procs {
+		counts := map[flight.Kind]int{}
+		for _, ev := range events {
+			counts[ev.Kind]++
+		}
+		// Failure-free run: every request is one completed passage.
+		if counts[flight.KindPassageBegin] != 2 || counts[flight.KindPassageEnd] != 2 ||
+			counts[flight.KindCSEnter] != 2 || counts[flight.KindCSExit] != 2 {
+			t.Errorf("p%d lifecycle counts %v", pid, counts)
+		}
+		if counts[flight.KindCrash] != 0 || counts[flight.KindRecover] != 0 {
+			t.Errorf("p%d has failure events in a failure-free run", pid)
+		}
+		// The WR lock's sensitive FAS is labeled: phase events present.
+		if counts[flight.KindPhaseFilter] == 0 {
+			t.Errorf("p%d has no filter phase events despite RecordOps", pid)
+		}
+	}
+}
+
+func TestSimRecordingCrashAndRecover(t *testing.T) {
+	plan := &sim.CrashAtOp{PID: 1, OpIndex: 4}
+	res := run(t, sim.Config{N: 2, Model: memory.CC, Requests: 2, Seed: 5,
+		Plan: plan, RecordOps: true})
+	if res.CrashCount() == 0 {
+		t.Fatal("plan injected no crash")
+	}
+	rec := SimRecording(res)
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	var crashes, recovers int
+	for _, ev := range rec.Procs[1] {
+		switch ev.Kind {
+		case flight.KindCrash:
+			crashes++
+		case flight.KindRecover:
+			recovers++
+		}
+	}
+	if crashes == 0 {
+		t.Error("no crash events for the crashed process")
+	}
+	if recovers == 0 {
+		t.Error("no recover event on the retry passage")
+	}
+	// A sim recording feeds the Chrome converter directly.
+	tr, err := flight.Chrome(rec)
+	if err != nil {
+		t.Fatalf("Chrome on sim recording: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("empty Chrome trace")
+	}
+}
+
+func TestSimRecordingEscalationLevels(t *testing.T) {
+	// An unsafe crash right after the sensitive FAS forces the victim's
+	// next passage onto the slow path: level-2 phase events must appear.
+	plan := &sim.CrashOnLabel{PID: 0, Label: "F1:fas", After: true}
+	res := runBA(t, 3, 3, plan)
+	if res.CrashCount() == 0 {
+		t.Skip("plan did not fire for this schedule")
+	}
+	rec := SimRecording(res)
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	maxCore := 0
+	for _, events := range rec.Procs {
+		for _, ev := range events {
+			if ev.Kind == flight.KindPhaseCore && ev.Level > maxCore {
+				maxCore = ev.Level
+			}
+		}
+	}
+	deep := res.DeepestLevels()
+	if deep == nil {
+		t.Fatal("DeepestLevels returned nil with RecordOps on")
+	}
+	wantDeep := 1
+	for _, d := range deep {
+		if d > wantDeep {
+			wantDeep = d
+		}
+	}
+	if wantDeep < 2 {
+		t.Skip("no escalation under this schedule")
+	}
+	if maxCore < 1 {
+		t.Errorf("escalated run has no core phase events (deepest=%d)", wantDeep)
+	}
+}
+
+func TestSimRecordingWithoutOps(t *testing.T) {
+	res := run(t, sim.Config{N: 2, Model: memory.CC, Requests: 1, Seed: 3})
+	rec := SimRecording(res)
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for pid, events := range rec.Procs {
+		for _, ev := range events {
+			if ev.Kind.IsPhase() {
+				t.Errorf("p%d has phase event %v without RecordOps", pid, ev.Kind)
+			}
+		}
+		if len(events) == 0 {
+			t.Errorf("p%d has no lifecycle events", pid)
+		}
+	}
+	if res.DeepestLevels() != nil {
+		t.Error("DeepestLevels non-nil without RecordOps")
+	}
+}
+
+func TestLabelLevel(t *testing.T) {
+	cases := []struct {
+		label string
+		want  int
+	}{
+		{"F1:fas", 1}, {"F2:try", 2}, {"F13:fas", 13},
+		{"wr:fas", 1}, {"mcs:handoff", 1}, {"F:try", 1}, {"Fx:fas", 1},
+	}
+	for _, tc := range cases {
+		if got := labelLevel(tc.label); got != tc.want {
+			t.Errorf("labelLevel(%q) = %d, want %d", tc.label, got, tc.want)
+		}
+	}
+}
+
+func TestFlightTimelineSymbols(t *testing.T) {
+	res := run(t, sim.Config{N: 2, Model: memory.CC, Requests: 2, Seed: 3, RecordOps: true})
+	out := FlightTimeline(SimRecording(res), 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	// Identical symbol vocabulary to Timeline, including the legend.
+	if !strings.Contains(lines[0], symLegend) {
+		t.Fatalf("legend differs from Timeline's:\n%s", lines[0])
+	}
+	for _, sym := range []string{"█", "│", "━"} {
+		if !strings.Contains(out, sym) {
+			t.Fatalf("missing %q:\n%s", sym, out)
+		}
+	}
+}
+
+func TestFlightTimelineCrashColumn(t *testing.T) {
+	plan := &sim.CrashAtOp{PID: 1, OpIndex: 4}
+	res := run(t, sim.Config{N: 3, Model: memory.CC, Requests: 2, Seed: 5, Plan: plan})
+	out := FlightTimeline(SimRecording(res), 80)
+	if !strings.Contains(out, "✖") {
+		t.Fatalf("crash symbol missing:\n%s", out)
+	}
+}
+
+func TestFlightTimelineNativeClock(t *testing.T) {
+	r := flight.NewRecorder(2, 32)
+	for pid := 0; pid < 2; pid++ {
+		r.PassageBegin(pid)
+		r.CSEnter(pid)
+		r.CSExit(pid)
+		r.PassageEnd(pid)
+	}
+	out := FlightTimeline(r.Snapshot(), 40)
+	if !strings.Contains(out, "ns clock") {
+		t.Fatalf("native clock not reported:\n%s", out)
+	}
+	for _, sym := range []string{"█", "│"} {
+		if !strings.Contains(out, sym) {
+			t.Fatalf("missing %q:\n%s", sym, out)
+		}
+	}
+}
+
+func TestFlightTimelineEmpty(t *testing.T) {
+	rec := &flight.Recording{Schema: flight.RecordingSchema, N: 0}
+	if got := FlightTimeline(rec, 40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty recording rendering: %q", got)
+	}
+}
+
+func TestTimelineLevelsAnnotation(t *testing.T) {
+	res := run(t, sim.Config{N: 2, Model: memory.CC, Requests: 1, Seed: 3, RecordOps: true})
+	out := TimelineLevels(res, 40, []int{1, 2})
+	if !strings.Contains(out, "deepest level 1") || !strings.Contains(out, "deepest level 2") {
+		t.Fatalf("level annotations missing:\n%s", out)
+	}
+	// Zero entries and nil leave rows unannotated.
+	plain := TimelineLevels(res, 40, []int{0, 0})
+	if strings.Contains(plain, "deepest level") {
+		t.Fatalf("zero levels still annotated:\n%s", plain)
+	}
+	if TimelineLevels(res, 40, nil) != Timeline(res, 40) {
+		t.Fatal("nil levels differs from plain Timeline")
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+// The shared timeline renderer. Both the simulator's event history and a
+// flight recording reduce to the same lifecycle stream — NCS, passage,
+// CS enter/exit, crash, satisfied — rendered one row per process, one
+// column per slice of (logical or wall-clock) time. Keeping a single
+// renderer is what makes the two chart flavors identical in symbol
+// vocabulary by construction.
+
+// tlKind is a renderer-level lifecycle event kind.
+type tlKind uint8
+
+const (
+	tlNCS tlKind = iota
+	tlPassage
+	tlCSEnter
+	tlCSExit
+	tlCrash
+	tlSatisfied
+)
+
+// tlEvent is one lifecycle event on the shared renderer's clock. Events
+// must arrive tick-ordered per process; interleaving between processes is
+// irrelevant (rows are independent).
+type tlEvent struct {
+	pid  int
+	tick int64
+	kind tlKind
+}
+
+// phase is the renderer's per-process state between events.
+type phase uint8
+
+const (
+	phNCS phase = iota
+	phPassage
+	phCS
+)
+
+// renderRows buckets ticks in [lo, hi) into width columns and renders the
+// n process rows. hi must be greater than every event tick.
+func renderRows(n, width int, lo, hi int64, events []tlEvent) [][]rune {
+	span := hi - lo
+	if span < 1 {
+		span = 1
+	}
+	bucket := func(tick int64) int {
+		b := int((tick - lo) * int64(width) / span)
+		if b >= width {
+			b = width - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+
+	rows := make([][]rune, n)
+	for i := range rows {
+		rows[i] = make([]rune, width)
+	}
+	cur := make([]phase, n)
+	mark := make([]int, n) // next column to fill per process
+
+	fill := func(pid, upto int) {
+		sym := symNCS
+		switch cur[pid] {
+		case phPassage:
+			sym = symPassage
+		case phCS:
+			sym = symCS
+		}
+		for c := mark[pid]; c <= upto && c < width; c++ {
+			rows[pid][c] = sym
+		}
+		if upto+1 > mark[pid] {
+			mark[pid] = upto + 1
+		}
+	}
+	point := func(pid, col int, sym rune) {
+		fill(pid, col-1)
+		if col < width {
+			rows[pid][col] = sym
+			if col+1 > mark[pid] {
+				mark[pid] = col + 1
+			}
+		}
+	}
+
+	for _, ev := range events {
+		if ev.pid < 0 || ev.pid >= n {
+			continue
+		}
+		col := bucket(ev.tick)
+		switch ev.kind {
+		case tlNCS:
+			fill(ev.pid, col-1)
+			cur[ev.pid] = phNCS
+		case tlPassage:
+			fill(ev.pid, col-1)
+			cur[ev.pid] = phPassage
+		case tlCSEnter:
+			fill(ev.pid, col-1)
+			cur[ev.pid] = phCS
+		case tlCSExit:
+			fill(ev.pid, col)
+			cur[ev.pid] = phPassage
+		case tlCrash:
+			point(ev.pid, col, symCrash)
+			cur[ev.pid] = phNCS
+		case tlSatisfied:
+			point(ev.pid, col, symSatisfied)
+			cur[ev.pid] = phNCS
+		}
+	}
+	for pid := 0; pid < n; pid++ {
+		fill(pid, width-1)
+	}
+	return rows
+}

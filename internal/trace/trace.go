@@ -27,18 +27,23 @@ const (
 	symSatisfied = '│'
 )
 
-type phase uint8
-
-const (
-	phNCS phase = iota
-	phPassage
-	phCS
-)
+// symLegend is the shared legend text: simulation and flight-recording
+// timelines use the identical symbol vocabulary.
+const symLegend = "· ncs  ━ passage  █ CS  ✖ crash  │ satisfied"
 
 // Timeline renders the lifecycle events of res as an ASCII chart with at
 // most width time columns (minimum 10). Events must be present (they
 // always are; RecordOps is not required).
 func Timeline(res *sim.Result, width int) string {
+	return TimelineLevels(res, width, nil)
+}
+
+// TimelineLevels renders the same chart as Timeline with each process
+// row's legend annotated with the deepest BA-Lock level that process
+// reached (levels as produced by sim.Result.DeepestLevels; nil or a zero
+// entry leaves the row unannotated), making escalation visible directly
+// in the chart.
+func TimelineLevels(res *sim.Result, width int, levels []int) string {
 	if width < 10 {
 		width = 10
 	}
@@ -47,83 +52,48 @@ func Timeline(res *sim.Result, width int) string {
 		return "(empty history)\n"
 	}
 	last := res.Events[len(res.Events)-1].Seq + 1
-	bucket := func(seq int64) int {
-		b := int(seq * int64(width) / last)
-		if b >= width {
-			b = width - 1
-		}
-		return b
-	}
-
-	rows := make([][]rune, n)
-	for i := range rows {
-		rows[i] = make([]rune, width)
-	}
-	cur := make([]phase, n)
-	mark := make([]int, n) // next column to fill per process
-
-	fill := func(pid, upto int) {
-		sym := symNCS
-		switch cur[pid] {
-		case phPassage:
-			sym = symPassage
-		case phCS:
-			sym = symCS
-		}
-		for c := mark[pid]; c <= upto && c < width; c++ {
-			rows[pid][c] = sym
-		}
-		if upto+1 > mark[pid] {
-			mark[pid] = upto + 1
-		}
-	}
-	point := func(pid, col int, sym rune) {
-		fill(pid, col-1)
-		if col < width {
-			rows[pid][col] = sym
-			if col+1 > mark[pid] {
-				mark[pid] = col + 1
-			}
-		}
-	}
-
+	var events []tlEvent
 	for _, ev := range res.Events {
 		if ev.PID < 0 || ev.PID >= n {
 			continue
 		}
-		col := bucket(ev.Seq)
+		var k tlKind
 		switch ev.Kind {
 		case sim.EvNCS:
-			fill(ev.PID, col-1)
-			cur[ev.PID] = phNCS
+			k = tlNCS
 		case sim.EvPassageStart:
-			fill(ev.PID, col-1)
-			cur[ev.PID] = phPassage
+			k = tlPassage
 		case sim.EvCSEnter:
-			fill(ev.PID, col-1)
-			cur[ev.PID] = phCS
+			k = tlCSEnter
 		case sim.EvCSExit:
-			fill(ev.PID, col)
-			cur[ev.PID] = phPassage
+			k = tlCSExit
 		case sim.EvCrash:
-			point(ev.PID, col, symCrash)
-			cur[ev.PID] = phNCS
+			k = tlCrash
 		case sim.EvSatisfied:
-			point(ev.PID, col, symSatisfied)
-			cur[ev.PID] = phNCS
+			k = tlSatisfied
+		default:
+			continue
 		}
+		events = append(events, tlEvent{pid: ev.PID, tick: ev.Seq, kind: k})
 	}
-	for pid := 0; pid < n; pid++ {
-		fill(pid, width-1)
-	}
+	rows := renderRows(n, width, 0, last, events)
 
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "timeline (%d steps, %d columns; · ncs  ━ passage  █ CS  ✖ crash  │ satisfied)\n",
-		res.Steps, width)
-	for pid := 0; pid < n; pid++ {
-		fmt.Fprintf(&sb, "p%-3d %s\n", pid, string(rows[pid]))
-	}
+	fmt.Fprintf(&sb, "timeline (%d steps, %d columns; %s)\n", res.Steps, width, symLegend)
+	writeRows(&sb, rows, levels)
 	return sb.String()
+}
+
+// writeRows renders one "p<pid> <cells>" line per process, annotated with
+// the process's deepest level when known.
+func writeRows(sb *strings.Builder, rows [][]rune, levels []int) {
+	for pid, row := range rows {
+		if levels != nil && pid < len(levels) && levels[pid] > 0 {
+			fmt.Fprintf(sb, "p%-3d %s  deepest level %d\n", pid, string(row), levels[pid])
+		} else {
+			fmt.Fprintf(sb, "p%-3d %s\n", pid, string(row))
+		}
+	}
 }
 
 // CrashTable lists every injected failure with its deterministic placement

@@ -26,6 +26,7 @@ import (
 
 	"rme/internal/arbtree"
 	"rme/internal/core"
+	"rme/internal/flight"
 	"rme/internal/grlock"
 	"rme/internal/memory"
 	"rme/internal/metrics"
@@ -54,6 +55,8 @@ type config struct {
 	capacity    int
 	unpadded    bool
 	metrics     bool
+	tracing     bool
+	tracingOpts TracingOptions
 	fail        FailFunc
 	labelFail   LabeledFailFunc
 }
@@ -123,6 +126,34 @@ func WithLabeledFailures(f LabeledFailFunc) Option {
 // residual cost is one nil check per Lock/Unlock.
 func WithMetrics() Option { return func(c *config) { c.metrics = true } }
 
+// TracingOptions configures the flight recorder (see WithTracing).
+type TracingOptions struct {
+	// RingSize is the per-process ring capacity in events, rounded up to
+	// a power of two; 0 selects flight.DefaultRingSize. Older events are
+	// overwritten once the ring is full — the recorder is a flight
+	// recorder, not an unbounded log.
+	RingSize int
+	// Disabled constructs the recorder in the disabled state; enable it
+	// later with SetTracing(true). The instrumentation is wired either
+	// way, so toggling costs nothing but the per-emit flag check.
+	Disabled bool
+}
+
+// WithTracing enables the flight recorder: each process gets a
+// cache-line-padded ring buffer capturing its passage trajectory
+// (passage begin/end, filter→splitter→{fast|core}→arbitrator phase
+// transitions with their BA-Lock level, CS enter/exit, crash/recover,
+// handoffs) with strictly monotone nanosecond timestamps, plus
+// per-phase latency histograms. Inspect with FlightRecording (dump for
+// cmd/rmetrace) and FlightProfile. When the option is absent every
+// instrumentation site costs one nil check; when present but disabled
+// via SetTracing(false), one atomic flag load. Recording itself never
+// issues shared-memory instructions, so it adds no RMRs in the CC cost
+// model and no crash points.
+func WithTracing(opts TracingOptions) Option {
+	return func(c *config) { c.tracing = true; c.tracingOpts = opts }
+}
+
 // Mutex is a recoverable mutual exclusion lock for n processes.
 //
 // Process identifiers are 0..n-1. At any moment at most one goroutine may
@@ -137,6 +168,7 @@ type Mutex struct {
 	lock  core.RecoverableLock
 	ports []memory.Port
 	rec   *metrics.Recorder // nil unless WithMetrics
+	fr    *flight.Recorder  // nil unless WithTracing
 }
 
 // New creates a recoverable mutex for n processes.
@@ -208,11 +240,12 @@ func New(n int, opts ...Option) (*Mutex, error) {
 		aopts = append(aopts, memory.Unpadded())
 	}
 	arena := memory.NewNativeArena(n, capacity, aopts...)
+	bal := core.NewBALock(arena, n, cfg.levels, baseFactory, src)
 	m := &Mutex{
 		n:     n,
 		cfg:   cfg,
 		arena: arena,
-		lock:  core.NewBALock(arena, n, cfg.levels, baseFactory, src),
+		lock:  bal,
 		ports: make([]memory.Port, n),
 	}
 	var fail memory.FailFunc
@@ -229,8 +262,22 @@ func New(n int, opts ...Option) (*Mutex, error) {
 		// cfg.levels SALock filters plus the base lock itself.
 		m.rec = metrics.NewRecorder(n, cfg.levels+1, arena.Capacity())
 	}
+	if cfg.tracing {
+		m.fr = flight.NewRecorder(n, cfg.tracingOpts.RingSize)
+		if cfg.tracingOpts.Disabled {
+			m.fr.SetEnabled(false)
+		}
+		fr := m.fr
+		bal.SetPhaseHook(func(pid int, ph core.PhaseKind, level int) {
+			fr.Phase(pid, flightPhaseKind(ph), level)
+		})
+	}
 	for i := 0; i < n; i++ {
 		np := arena.Port(i, fail)
+		if m.fr != nil {
+			pid, fr := i, m.fr
+			np.SetLabelHook(func(l string) { fr.ObserveLabel(pid, l) })
+		}
 		if m.rec != nil {
 			m.ports[i] = m.rec.Port(np)
 		} else {
@@ -238,6 +285,23 @@ func New(n int, opts ...Option) (*Mutex, error) {
 		}
 	}
 	return m, nil
+}
+
+// flightPhaseKind maps a core pipeline phase to its flight event kind.
+func flightPhaseKind(ph core.PhaseKind) flight.Kind {
+	switch ph {
+	case core.PhaseFilter:
+		return flight.KindPhaseFilter
+	case core.PhaseSplitter:
+		return flight.KindPhaseSplitter
+	case core.PhaseFast:
+		return flight.KindPhaseFast
+	case core.PhaseCore:
+		return flight.KindPhaseCore
+	case core.PhaseArbitrator:
+		return flight.KindPhaseArbitrator
+	}
+	panic(fmt.Sprintf("rme: unknown phase %v", ph))
 }
 
 // N returns the number of processes.
@@ -264,6 +328,42 @@ func (m *Mutex) MetricsSnapshot() (metrics.Snapshot, bool) {
 	return m.rec.Snapshot(), true
 }
 
+// SetTracing starts or stops flight recording at runtime. It is a no-op
+// on a mutex built without WithTracing (tracing cannot be enabled after
+// construction: the instrumentation is wired at New time).
+func (m *Mutex) SetTracing(on bool) {
+	if m.fr != nil {
+		m.fr.SetEnabled(on)
+	}
+}
+
+// TracingEnabled reports whether flight recording is currently active.
+func (m *Mutex) TracingEnabled() bool {
+	return m.fr != nil && m.fr.Enabled()
+}
+
+// FlightRecording snapshots the flight recorder's ring buffers into a
+// dumpable Recording (see cmd/rmetrace for rendering it). It may be
+// called from any goroutine while passages are in flight; concurrently
+// overwritten events are dropped, never torn. The second result is false
+// when the mutex was built without WithTracing.
+func (m *Mutex) FlightRecording() (*flight.Recording, bool) {
+	if m.fr == nil {
+		return nil, false
+	}
+	return m.fr.Snapshot(), true
+}
+
+// FlightProfile returns the phase-latency profile accumulated so far
+// (wall-clock histograms per pipeline phase and BA-Lock level). The
+// second result is false when the mutex was built without WithTracing.
+func (m *Mutex) FlightProfile() (flight.Profile, bool) {
+	if m.fr == nil {
+		return flight.Profile{}, false
+	}
+	return m.fr.Profile(), true
+}
+
 // Lock acquires the mutex as process pid, running the Recover and Enter
 // segments of the paper's execution model. It is the correct call both
 // for first acquisition and for recovery after a failure: all recovery
@@ -276,15 +376,27 @@ func (m *Mutex) Lock(pid int) {
 	if m.rec != nil {
 		m.rec.PassageStart(pid)
 	}
+	if m.fr != nil {
+		m.fr.PassageBegin(pid)
+	}
 	m.lock.Recover(p)
 	m.lock.Enter(p)
+	if m.fr != nil {
+		m.fr.CSEnter(pid)
+	}
 }
 
 // Unlock releases the mutex as process pid (the Exit segment).
 func (m *Mutex) Unlock(pid int) {
+	if m.fr != nil {
+		m.fr.CSExit(pid)
+	}
 	m.lock.Exit(m.port(pid))
 	if m.rec != nil {
 		m.rec.PassageEnd(pid)
+	}
+	if m.fr != nil {
+		m.fr.PassageEnd(pid)
 	}
 }
 
@@ -309,6 +421,9 @@ func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
 		if crash, crashed := e.(memory.ErrCrash); crashed && crash.PID == pid {
 			if m.rec != nil {
 				m.rec.Crash(pid)
+			}
+			if m.fr != nil {
+				m.fr.Crash(pid)
 			}
 			ok = false
 			return
