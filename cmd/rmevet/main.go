@@ -14,11 +14,25 @@
 //     never raw Go pointers, maps, or channels that vanish on crash;
 //   - flightemit: flight-recorder emit calls may not appear between a
 //     sensitive FAS and its persisting write — recording must not widen
-//     the crash window (Definition 3.3).
+//     the crash window (Definition 3.3);
+//   - persistorder: on every control-flow path, a sensitive RMW's result
+//     reaches a persisting Port.Write before any return or further
+//     sensitive instruction (backward must-analysis over the CFG);
+//   - portescape: port handles stay passage-local — never stored in
+//     globals or heap-reachable memory, sent on channels, or captured by
+//     returned closures (forward taint analysis over the CFG);
+//   - spinrmr: every port-governed spin loop either re-reads cheaply
+//     (cached read + Pause) or carries an rme:rmw-loop(<why>) marker
+//     certifying its per-retry RMW/Write cost is bounded.
+//
+// The driver additionally audits rme:allow markers: one that suppresses
+// no diagnostic is itself reported (as "allowaudit"), so waivers cannot
+// outlive the findings they waived.
 //
 // Run it standalone:
 //
 //	go run rme/cmd/rmevet ./...
+//	go run rme/cmd/rmevet -sarif ./... > rmevet.sarif
 //
 // or as a vet tool:
 //
@@ -31,18 +45,26 @@ import (
 	"rme/internal/analysis/driver"
 	"rme/internal/analysis/passes/flightemit"
 	"rme/internal/analysis/passes/persistfield"
+	"rme/internal/analysis/passes/persistorder"
 	"rme/internal/analysis/passes/portdiscipline"
+	"rme/internal/analysis/passes/portescape"
 	"rme/internal/analysis/passes/sensitive"
 	"rme/internal/analysis/passes/spinloop"
+	"rme/internal/analysis/passes/spinrmr"
 )
 
-// suite is the full analyzer set, in reporting order.
+// suite is the full analyzer set, in reporting order: the syntactic
+// passes first, then the three flow-sensitive passes built on the
+// CFG + dataflow engine.
 var suite = []*analysis.Analyzer{
 	portdiscipline.Analyzer,
 	sensitive.Analyzer,
 	spinloop.Analyzer,
 	persistfield.Analyzer,
 	flightemit.Analyzer,
+	persistorder.Analyzer,
+	portescape.Analyzer,
+	spinrmr.Analyzer,
 }
 
 func main() {

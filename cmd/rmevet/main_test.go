@@ -3,9 +3,9 @@ package main
 import "testing"
 
 // TestSuiteRegistration pins the analyzer set: dropping a pass from the
-// suite would silently stop enforcing one of the five invariants.
+// suite would silently stop enforcing one of the eight invariants.
 func TestSuiteRegistration(t *testing.T) {
-	want := []string{"portdiscipline", "sensitive", "spinloop", "persistfield", "flightemit"}
+	want := []string{"portdiscipline", "sensitive", "spinloop", "persistfield", "flightemit", "persistorder", "portescape", "spinrmr"}
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
 	}

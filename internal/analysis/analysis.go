@@ -46,6 +46,12 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver fills it in.
 	Report func(Diagnostic)
+
+	// UsedAllow, if non-nil, records that an rme:allow(<analyzer>: ...)
+	// marker at file:line suppressed a diagnostic of the named analyzer.
+	// The driver uses the record to report allow markers that no longer
+	// suppress anything (see rmeutil.Suppressed).
+	UsedAllow func(file string, line int, analyzer string)
 }
 
 // Reportf reports a formatted diagnostic at pos.

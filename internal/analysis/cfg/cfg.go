@@ -1,0 +1,598 @@
+// Package cfg builds intra-procedural control-flow graphs of Go function
+// bodies. It is a deliberately small, stdlib-only stand-in for
+// golang.org/x/tools/go/cfg, mirroring its API surface (New, CFG, Block,
+// Format) so the flow-sensitive rmevet passes could be ported to the real
+// package by changing imports only (README, "Stdlib only").
+//
+// The CFG is a list of basic blocks. Each block holds the syntax nodes
+// executed in it — simple statements and the condition expressions of
+// composite ones — and edges to its possible successors. Composite
+// statements (if, for, switch, ...) contribute structure, not nodes: their
+// bodies live in successor blocks. A block with no successors ends the
+// function: a return, a call to the built-in panic (or any call the
+// mayReturn hook rejects), or the natural end of the body.
+//
+// Deviations from x/tools/go/cfg, all on the side of coarseness:
+//
+//   - short-circuit conditions (&& and ||) stay a single node instead of
+//     being decomposed into branch blocks, so every read a condition
+//     performs is attributed to the block that evaluates it;
+//   - a *ast.RangeStmt header block holds the RangeStmt itself as its one
+//     node; its Body belongs to successor blocks. Use Inspect (not
+//     ast.Inspect) to walk block nodes — it knows not to descend there;
+//   - defer statements are recorded as ordinary nodes where they occur;
+//     the execution of the deferred call at function exit is not modeled
+//     (analyses that care must treat *ast.DeferStmt specially);
+//   - function literals are opaque: their bodies contribute no blocks.
+//     Analyze a FuncLit body as a separate function. Inspect skips them.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block.
+type CFG struct {
+	Blocks []*Block
+}
+
+// Block is one basic block: a maximal sequence of nodes with a single
+// entry point and a single exit point.
+type Block struct {
+	Nodes []ast.Node // statements and condition expressions, in execution order
+	Succs []*Block   // successor blocks, in branch order (then before else)
+	Index int32      // index within CFG.Blocks
+	Live  bool       // block is reachable from the entry block
+	Kind  BlockKind  // the role this block plays in its enclosing statement
+	Stmt  ast.Stmt   // the statement that gave rise to this block, if any
+}
+
+// BlockKind identifies the role of a block in its enclosing statement.
+type BlockKind uint8
+
+// Block kinds.
+const (
+	KindInvalid BlockKind = iota
+	KindEntry             // the function's entry block
+	KindBody              // a plain continuation block
+	KindIfThen
+	KindIfElse
+	KindIfDone
+	KindForLoop // loop head: evaluates the for condition
+	KindForBody
+	KindForPost
+	KindForDone
+	KindRangeLoop // loop head: the range assignment and test
+	KindRangeBody
+	KindRangeDone
+	KindSwitchCaseBody
+	KindSwitchDone
+	KindSelectCaseBody
+	KindSelectDone
+	KindLabel       // target of a goto or labeled statement
+	KindUnreachable // continuation after a jump; live only via a label
+)
+
+var kindNames = [...]string{
+	KindInvalid:        "Invalid",
+	KindEntry:          "Entry",
+	KindBody:           "Body",
+	KindIfThen:         "IfThen",
+	KindIfElse:         "IfElse",
+	KindIfDone:         "IfDone",
+	KindForLoop:        "ForLoop",
+	KindForBody:        "ForBody",
+	KindForPost:        "ForPost",
+	KindForDone:        "ForDone",
+	KindRangeLoop:      "RangeLoop",
+	KindRangeBody:      "RangeBody",
+	KindRangeDone:      "RangeDone",
+	KindSwitchCaseBody: "SwitchCaseBody",
+	KindSwitchDone:     "SwitchDone",
+	KindSelectCaseBody: "SelectCaseBody",
+	KindSelectDone:     "SelectDone",
+	KindLabel:          "Label",
+	KindUnreachable:    "Unreachable",
+}
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("BlockKind(%d)", uint8(k))
+}
+
+// Pos returns a position for the block: its originating statement's if it
+// has one, otherwise its first node's, otherwise token.NoPos.
+func (b *Block) Pos() token.Pos {
+	if b.Stmt != nil {
+		return b.Stmt.Pos()
+	}
+	if len(b.Nodes) > 0 {
+		return b.Nodes[0].Pos()
+	}
+	return token.NoPos
+}
+
+// New builds the control-flow graph of body. mayReturn reports whether a
+// call expression may return to its caller; a call for which it reports
+// false ends its block like a panic. If mayReturn is nil, every call is
+// assumed to return except a direct call to the built-in panic.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *CFG {
+	b := &builder{
+		cfg:       &CFG{},
+		mayReturn: mayReturn,
+		labels:    map[string]*lblock{},
+	}
+	b.current = b.newBlock(KindEntry, nil)
+	b.stmtList(body.List)
+	b.markLive()
+	return b.cfg
+}
+
+// Inspect walks the syntax of one block node in the manner of
+// ast.Inspect, but respects the CFG's conventions: it does not descend
+// into the Body of a *ast.RangeStmt header node (those statements belong
+// to successor blocks) and does not descend into *ast.FuncLit bodies
+// (a function literal is a separate function with its own CFG).
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !f(n) {
+				return false
+			}
+			return false // opaque: never descend into the body
+		case *ast.RangeStmt:
+			if !f(n) {
+				return false
+			}
+			// Walk the header parts only.
+			for _, part := range []ast.Node{n.Key, n.Value, n.X} {
+				if part != nil && !isNilExpr(part) {
+					Inspect(part, f)
+				}
+			}
+			return false
+		}
+		return f(n)
+	})
+}
+
+func isNilExpr(n ast.Node) bool {
+	e, ok := n.(ast.Expr)
+	return ok && e == nil
+}
+
+// builder holds the state of one CFG construction.
+type builder struct {
+	cfg       *CFG
+	mayReturn func(*ast.CallExpr) bool
+	current   *Block
+	targets   *targets           // innermost break/continue targets
+	labels    map[string]*lblock // goto and labeled-statement targets
+	lblock    *lblock            // pending label for the next loop/switch/select
+}
+
+// targets is one frame of the break/continue target stack.
+type targets struct {
+	tail         *targets
+	_break       *Block
+	_continue    *Block // nil inside switch/select
+	_fallthrough *Block // next case body, inside a switch case only
+}
+
+// lblock records the blocks a label can transfer control to.
+type lblock struct {
+	_goto     *Block
+	_break    *Block
+	_continue *Block
+}
+
+func (b *builder) newBlock(kind BlockKind, stmt ast.Stmt) *Block {
+	blk := &Block{Index: int32(len(b.cfg.Blocks)), Kind: kind, Stmt: stmt}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// edge adds a control-flow edge from the current block to to.
+func (b *builder) edge(to *Block) {
+	b.current.Succs = append(b.current.Succs, to)
+}
+
+// jump ends the current block with an unconditional transfer to to and
+// starts a fresh (unreachable unless labeled into) continuation block.
+func (b *builder) jump(to *Block) {
+	b.edge(to)
+	b.current = b.newBlock(KindUnreachable, nil)
+}
+
+// terminate ends the current block with no successors (return or panic).
+func (b *builder) terminate() {
+	b.current = b.newBlock(KindUnreachable, nil)
+}
+
+// callTerminates reports whether the call never returns to its caller.
+func (b *builder) callTerminates(call *ast.CallExpr) bool {
+	if b.mayReturn != nil {
+		return !b.mayReturn(call)
+	}
+	// Default: only a direct call to the built-in panic terminates. A
+	// shadowed panic identifier would be misclassified; algorithm code
+	// has no business shadowing it.
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// labeledBlock returns the lblock for the named label, creating it (and
+// its goto target block) on first use so forward gotos resolve.
+func (b *builder) labeledBlock(name string) *lblock {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &lblock{_goto: b.newBlock(KindLabel, nil)}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// A label immediately preceding a loop, switch or select attaches its
+	// break/continue to that statement; any other statement consumes it.
+	label := b.lblock
+	b.lblock = nil
+
+	switch s := s.(type) {
+	case nil, *ast.BadStmt, *ast.EmptyStmt:
+		// no flow
+
+	case *ast.LabeledStmt:
+		lb := b.labeledBlock(s.Label.Name)
+		b.jump(lb._goto)
+		b.current = lb._goto
+		if b.current.Stmt == nil {
+			b.current.Stmt = s
+		}
+		b.lblock = lb
+		b.stmt(s.Stmt)
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.callTerminates(call) {
+			b.terminate()
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s, s.Body, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s, s.Body, label)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	default:
+		panic(fmt.Sprintf("cfg: unexpected statement %T", s))
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			target = b.labeledBlock(s.Label.Name)._break
+		} else {
+			for t := b.targets; t != nil && target == nil; t = t.tail {
+				target = t._break
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			target = b.labeledBlock(s.Label.Name)._continue
+		} else {
+			for t := b.targets; t != nil && target == nil; t = t.tail {
+				target = t._continue
+			}
+		}
+	case token.GOTO:
+		target = b.labeledBlock(s.Label.Name)._goto
+	case token.FALLTHROUGH:
+		for t := b.targets; t != nil && target == nil; t = t.tail {
+			target = t._fallthrough
+		}
+	}
+	if target == nil {
+		// Ill-formed input (break outside loop, fallthrough in last
+		// case): treat as terminating so construction proceeds.
+		b.terminate()
+		return
+	}
+	b.jump(target)
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.current
+	then := b.newBlock(KindIfThen, s)
+	done := b.newBlock(KindIfDone, s)
+	cond.Succs = append(cond.Succs, then)
+
+	var alt *Block
+	if s.Else != nil {
+		alt = b.newBlock(KindIfElse, s)
+		cond.Succs = append(cond.Succs, alt)
+	} else {
+		cond.Succs = append(cond.Succs, done)
+	}
+
+	b.current = then
+	b.stmt(s.Body)
+	b.edge(done)
+
+	if alt != nil {
+		b.current = alt
+		b.stmt(s.Else)
+		b.edge(done)
+	}
+	b.current = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label *lblock) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	loop := b.newBlock(KindForLoop, s)
+	body := b.newBlock(KindForBody, s)
+	done := b.newBlock(KindForDone, s)
+	cont := loop
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock(KindForPost, s)
+		cont = post
+	}
+	b.edge(loop)
+
+	b.current = loop
+	if s.Cond != nil {
+		b.add(s.Cond)
+		loop.Succs = append(loop.Succs, body, done)
+	} else {
+		loop.Succs = append(loop.Succs, body)
+	}
+
+	if label != nil {
+		label._break = done
+		label._continue = cont
+	}
+	b.targets = &targets{tail: b.targets, _break: done, _continue: cont}
+	b.current = body
+	b.stmt(s.Body)
+	b.edge(cont)
+	b.targets = b.targets.tail
+
+	if post != nil {
+		b.current = post
+		b.stmt(s.Post)
+		b.edge(loop)
+	}
+	b.current = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label *lblock) {
+	loop := b.newBlock(KindRangeLoop, s)
+	body := b.newBlock(KindRangeBody, s)
+	done := b.newBlock(KindRangeDone, s)
+	b.edge(loop)
+
+	// The RangeStmt itself is the header's single node (the per-iteration
+	// key/value assignment and exhaustion test). Inspect knows not to
+	// descend into its Body.
+	b.current = loop
+	b.add(s)
+	loop.Succs = append(loop.Succs, body, done)
+
+	if label != nil {
+		label._break = done
+		label._continue = loop
+	}
+	b.targets = &targets{tail: b.targets, _break: done, _continue: loop}
+	b.current = body
+	b.stmt(s.Body)
+	b.edge(loop)
+	b.targets = b.targets.tail
+
+	b.current = done
+}
+
+// switchBody builds the dispatch and case blocks shared by expression and
+// type switches. The case expressions are evaluated in the dispatch
+// block; each clause body gets its own block, with fallthrough edges
+// between consecutive expression-switch clauses.
+func (b *builder) switchBody(sw ast.Stmt, body *ast.BlockStmt, label *lblock) {
+	head := b.current
+	done := b.newBlock(KindSwitchDone, sw)
+	if label != nil {
+		label._break = done
+	}
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+
+	// Create the case body blocks first so fallthrough targets exist.
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock(KindSwitchCaseBody, c)
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+
+	for i, c := range clauses {
+		for _, e := range c.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		head.Succs = append(head.Succs, caseBlocks[i])
+
+		var next *Block
+		if i+1 < len(clauses) {
+			next = caseBlocks[i+1]
+		}
+		b.targets = &targets{tail: b.targets, _break: done, _fallthrough: next}
+		b.current = caseBlocks[i]
+		b.stmtList(c.Body)
+		b.edge(done)
+		b.targets = b.targets.tail
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.current = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label *lblock) {
+	head := b.current
+	done := b.newBlock(KindSelectDone, s)
+	if label != nil {
+		label._break = done
+	}
+	for _, c := range s.Body.List {
+		comm := c.(*ast.CommClause)
+		blk := b.newBlock(KindSelectCaseBody, comm)
+		head.Succs = append(head.Succs, blk)
+		b.targets = &targets{tail: b.targets, _break: done}
+		b.current = blk
+		if comm.Comm != nil {
+			b.add(comm.Comm)
+		}
+		b.stmtList(comm.Body)
+		b.edge(done)
+		b.targets = b.targets.tail
+	}
+	b.current = done
+}
+
+// markLive flags every block reachable from the entry block.
+func (b *builder) markLive() {
+	if len(b.cfg.Blocks) == 0 {
+		return
+	}
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(b.cfg.Blocks[0])
+}
+
+// Format returns a human-readable rendering of the graph, used by the
+// golden CFG tests and for debugging.
+func (g *CFG) Format(fset *token.FileSet) string {
+	var buf bytes.Buffer
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&buf, ".%d: # %s", blk.Index, blk.Kind)
+		if !blk.Live {
+			buf.WriteString(" (unreachable)")
+		}
+		buf.WriteByte('\n')
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&buf, "\t%s\n", formatNode(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			buf.WriteString("\tsuccs:")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&buf, " %d", s.Index)
+			}
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.String()
+}
+
+// formatNode renders one block node on one line.
+func formatNode(fset *token.FileSet, n ast.Node) string {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// Render only the header; the body belongs to other blocks.
+		var parts []string
+		if rs.Key != nil {
+			parts = append(parts, exprString(fset, rs.Key))
+		}
+		if rs.Value != nil {
+			parts = append(parts, exprString(fset, rs.Value))
+		}
+		header := "for "
+		if len(parts) > 0 {
+			header += strings.Join(parts, ", ") + " " + rs.Tok.String() + " "
+		}
+		return header + "range " + exprString(fset, rs.X)
+	}
+	return exprString(fset, n)
+}
+
+func exprString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, n)
+	// Collapse any multi-line rendering to a single line.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

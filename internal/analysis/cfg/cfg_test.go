@@ -1,0 +1,495 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"rme/internal/analysis/cfg"
+)
+
+// build parses src as the body of a function and returns its CFG and the
+// FileSet. src is a sequence of statements.
+func build(t *testing.T, src string) (*cfg.CFG, *token.FileSet) {
+	t.Helper()
+	file := "package p\n\nfunc f(p Port, a, b, c int) bool {\n" + src + "\nreturn true\n}\n" +
+		"type Port interface{ Read(int) int; Write(int, int); Pause() }\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fn.Body, nil), fset
+}
+
+// golden compares the CFG dump of src against want, ignoring leading and
+// trailing blank lines of want so the test table stays readable.
+func golden(t *testing.T, name, src, want string) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		g, fset := build(t, src)
+		got := strings.TrimSpace(g.Format(fset))
+		want = strings.TrimSpace(want)
+		if got != want {
+			t.Errorf("CFG mismatch.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	})
+}
+
+func TestGoldenIf(t *testing.T) {
+	golden(t, "if-else", `
+if a < b {
+	a = 1
+} else {
+	a = 2
+}
+a = 3
+`, `
+.0: # Entry
+	a < b
+	succs: 1 3
+.1: # IfThen
+	a = 1
+	succs: 2
+.2: # IfDone
+	a = 3
+	return true
+.3: # IfElse
+	a = 2
+	succs: 2
+.4: # Unreachable (unreachable)
+`)
+
+	golden(t, "if-no-else", `
+if a < b {
+	a = 1
+}
+`, `
+.0: # Entry
+	a < b
+	succs: 1 2
+.1: # IfThen
+	a = 1
+	succs: 2
+.2: # IfDone
+	return true
+.3: # Unreachable (unreachable)
+`)
+}
+
+func TestGoldenLoops(t *testing.T) {
+	golden(t, "for-full", `
+for i := 0; i < a; i++ {
+	b = i
+}
+`, `
+.0: # Entry
+	i := 0
+	succs: 1
+.1: # ForLoop
+	i < a
+	succs: 2 3
+.2: # ForBody
+	b = i
+	succs: 4
+.3: # ForDone
+	return true
+.4: # ForPost
+	i++
+	succs: 1
+.5: # Unreachable (unreachable)
+`)
+
+	golden(t, "for-unconditional-break", `
+for {
+	if a == 0 {
+		break
+	}
+	p.Pause()
+}
+`, `
+.0: # Entry
+	succs: 1
+.1: # ForLoop
+	succs: 2
+.2: # ForBody
+	a == 0
+	succs: 4 5
+.3: # ForDone
+	return true
+.4: # IfThen
+	succs: 3
+.5: # IfDone
+	p.Pause()
+	succs: 1
+.6: # Unreachable (unreachable)
+	succs: 5
+.7: # Unreachable (unreachable)
+`)
+
+	golden(t, "range", `
+for i, v := range c {
+	a = i + v
+}
+`, `
+.0: # Entry
+	succs: 1
+.1: # RangeLoop
+	for i, v := range c
+	succs: 2 3
+.2: # RangeBody
+	a = i + v
+	succs: 1
+.3: # RangeDone
+	return true
+.4: # Unreachable (unreachable)
+`)
+
+	golden(t, "nested-spin", `
+for a < b {
+	for p.Read(a) == 0 {
+		p.Pause()
+	}
+	p.Write(a, 1)
+}
+`, `
+.0: # Entry
+	succs: 1
+.1: # ForLoop
+	a < b
+	succs: 2 3
+.2: # ForBody
+	succs: 4
+.3: # ForDone
+	return true
+.4: # ForLoop
+	p.Read(a) == 0
+	succs: 5 6
+.5: # ForBody
+	p.Pause()
+	succs: 4
+.6: # ForDone
+	p.Write(a, 1)
+	succs: 1
+.7: # Unreachable (unreachable)
+`)
+}
+
+func TestGoldenLabels(t *testing.T) {
+	golden(t, "labeled-break", `
+outer:
+for a < b {
+	for {
+		if c == 0 {
+			break outer
+		}
+		if c == 1 {
+			continue outer
+		}
+		c--
+	}
+}
+`, `
+.0: # Entry
+	succs: 1
+.1: # Label
+	succs: 3
+.2: # Unreachable (unreachable)
+.3: # ForLoop
+	a < b
+	succs: 4 5
+.4: # ForBody
+	succs: 6
+.5: # ForDone
+	return true
+.6: # ForLoop
+	succs: 7
+.7: # ForBody
+	c == 0
+	succs: 9 10
+.8: # ForDone (unreachable)
+	succs: 3
+.9: # IfThen
+	succs: 5
+.10: # IfDone
+	c == 1
+	succs: 12 13
+.11: # Unreachable (unreachable)
+	succs: 10
+.12: # IfThen
+	succs: 3
+.13: # IfDone
+	c--
+	succs: 6
+.14: # Unreachable (unreachable)
+	succs: 13
+.15: # Unreachable (unreachable)
+`)
+
+	golden(t, "goto-loop", `
+again:
+if p.Read(a) == 0 {
+	goto again
+}
+`, `
+.0: # Entry
+	succs: 1
+.1: # Label
+	p.Read(a) == 0
+	succs: 3 4
+.2: # Unreachable (unreachable)
+.3: # IfThen
+	succs: 1
+.4: # IfDone
+	return true
+.5: # Unreachable (unreachable)
+	succs: 4
+.6: # Unreachable (unreachable)
+`)
+}
+
+func TestGoldenSwitch(t *testing.T) {
+	golden(t, "switch-fallthrough-default", `
+switch a {
+case 1:
+	b = 1
+	fallthrough
+case 2:
+	b = 2
+default:
+	b = 3
+}
+`, `
+.0: # Entry
+	a
+	1
+	2
+	succs: 2 3 4
+.1: # SwitchDone
+	return true
+.2: # SwitchCaseBody
+	b = 1
+	succs: 3
+.3: # SwitchCaseBody
+	b = 2
+	succs: 1
+.4: # SwitchCaseBody
+	b = 3
+	succs: 1
+.5: # Unreachable (unreachable)
+	succs: 1
+.6: # Unreachable (unreachable)
+`)
+
+	golden(t, "switch-no-default", `
+switch {
+case a < b:
+	b = 1
+case a > b:
+	b = 2
+}
+`, `
+.0: # Entry
+	a < b
+	a > b
+	succs: 2 3 1
+.1: # SwitchDone
+	return true
+.2: # SwitchCaseBody
+	b = 1
+	succs: 1
+.3: # SwitchCaseBody
+	b = 2
+	succs: 1
+.4: # Unreachable (unreachable)
+`)
+}
+
+func TestGoldenDeferPanic(t *testing.T) {
+	golden(t, "panic-edge", `
+if a == 0 {
+	panic("zero")
+}
+b = 1
+`, `
+.0: # Entry
+	a == 0
+	succs: 1 2
+.1: # IfThen
+	panic("zero")
+.2: # IfDone
+	b = 1
+	return true
+.3: # Unreachable (unreachable)
+	succs: 2
+.4: # Unreachable (unreachable)
+`)
+
+	golden(t, "defer-nodes", `
+defer p.Pause()
+a = 1
+`, `
+.0: # Entry
+	defer p.Pause()
+	a = 1
+	return true
+.1: # Unreachable (unreachable)
+`)
+
+	golden(t, "return-midway", `
+if a == 0 {
+	return false
+}
+b = 2
+`, `
+.0: # Entry
+	a == 0
+	succs: 1 2
+.1: # IfThen
+	return false
+.2: # IfDone
+	b = 2
+	return true
+.3: # Unreachable (unreachable)
+	succs: 2
+.4: # Unreachable (unreachable)
+`)
+}
+
+func TestGoldenTypeSwitchSelect(t *testing.T) {
+	// Type switches and selects never occur in algorithm packages
+	// (portdiscipline bans select), but the builder must not choke on
+	// them: the driver runs flow passes over fixtures and future
+	// packages unconditionally.
+	src := "package p\n\nfunc f(x interface{}, ch chan int) {\n" +
+		"switch v := x.(type) {\ncase int:\n_ = v\ncase string:\n_ = v\n}\n" +
+		"select {\ncase <-ch:\n\tx = 1\ndefault:\n\tx = 2\n}\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	g := cfg.New(fn.Body, nil)
+	want := strings.TrimSpace(`
+.0: # Entry
+	v := x.(type)
+	int
+	string
+	succs: 2 3 1
+.1: # SwitchDone
+	succs: 5 6
+.2: # SwitchCaseBody
+	_ = v
+	succs: 1
+.3: # SwitchCaseBody
+	_ = v
+	succs: 1
+.4: # SelectDone
+.5: # SelectCaseBody
+	<-ch
+	x = 1
+	succs: 4
+.6: # SelectCaseBody
+	x = 2
+	succs: 4
+`)
+	got := strings.TrimSpace(g.Format(fset))
+	if got != want {
+		t.Errorf("CFG mismatch.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestMayReturnHook(t *testing.T) {
+	g, _ := build(t, `
+if a == 0 {
+	c = 1
+}
+`)
+	_ = g
+	// Rebuild with a hook that claims no call returns; the p.Pause()
+	// statement must then terminate its block.
+	file := "package p\n\nfunc f() {\n\thelper()\n\tprintln(1)\n}\nfunc helper() {}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	noReturn := func(call *ast.CallExpr) bool { return false }
+	g2 := cfg.New(fn.Body, noReturn)
+	entry := g2.Blocks[0]
+	if len(entry.Succs) != 0 {
+		t.Errorf("with mayReturn=false the first call should end the entry block; succs = %v", len(entry.Succs))
+	}
+	if len(entry.Nodes) != 1 {
+		t.Errorf("entry block should hold only the terminating call, got %d nodes", len(entry.Nodes))
+	}
+}
+
+func TestInspectConventions(t *testing.T) {
+	src := `
+for i, v := range c {
+	a = i + v
+}
+f := func() { b = 99 }
+_ = f
+`
+	g, _ := build(t, src)
+	// Collect every identifier visible through cfg.Inspect across all
+	// blocks; the range body's statements and the closure body must not
+	// be visible from the nodes that carry them.
+	seen := map[string]bool{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			cfg.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					seen[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	if seen["b"] {
+		t.Errorf("cfg.Inspect descended into a FuncLit body (saw identifier b)")
+	}
+	if !seen["c"] || !seen["i"] || !seen["v"] {
+		t.Errorf("cfg.Inspect should visit range header parts; saw %v", seen)
+	}
+	// The assignment inside the range body lives in the RangeBody block,
+	// visible there (not through the header node).
+	foundBody := false
+	for _, blk := range g.Blocks {
+		if blk.Kind == cfg.KindRangeBody && len(blk.Nodes) == 1 {
+			foundBody = true
+		}
+	}
+	if !foundBody {
+		t.Errorf("range body statements should live in the RangeBody block")
+	}
+}
+
+func TestBlockPos(t *testing.T) {
+	g, fset := build(t, `
+for a < b {
+	a++
+}
+`)
+	for _, blk := range g.Blocks {
+		if blk.Kind == cfg.KindForLoop {
+			if !blk.Pos().IsValid() {
+				t.Errorf("loop header block has no position")
+			}
+			if fset.Position(blk.Pos()).Line == 0 {
+				t.Errorf("loop header position does not resolve")
+			}
+		}
+	}
+	empty := &cfg.Block{}
+	if empty.Pos().IsValid() {
+		t.Errorf("empty block should have NoPos")
+	}
+}

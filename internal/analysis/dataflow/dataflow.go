@@ -1,0 +1,396 @@
+// Package dataflow is a generic intra-procedural dataflow solver over the
+// control-flow graphs built by rme/internal/analysis/cfg.
+//
+// An analysis supplies a lattice (a join semilattice with an identity
+// element and an equality test), a direction, a boundary fact, and a
+// transfer function over whole basic blocks. Solve runs a standard
+// worklist iteration to the least fixed point and returns, for every
+// block, the fact at its entry and at its exit in *program order*
+// (Before/After), regardless of direction.
+//
+// The package also provides the small set of lattices the rmevet flow
+// passes need — boolean must/may facts and variable sets — plus natural
+// loop detection, which spinrmr uses to find spin candidates. Keeping
+// loop detection here (rather than in cfg) leaves cfg a strict mirror of
+// golang.org/x/tools/go/cfg, so it could be swapped out by changing
+// imports only.
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"rme/internal/analysis/cfg"
+)
+
+// Fact is an element of an analysis lattice. Facts must be treated as
+// immutable: transfer functions return new facts rather than mutating
+// their argument.
+type Fact interface{}
+
+// Lattice describes a join semilattice of facts.
+type Lattice interface {
+	// Bottom is the identity of Join — the optimistic initial value
+	// every block starts from (true for a must-analysis joined with AND,
+	// the empty set for a may-analysis joined with union).
+	Bottom() Fact
+	// Join combines the facts flowing in from two control-flow edges.
+	Join(x, y Fact) Fact
+	// Equal reports whether iteration has stabilized at this fact.
+	Equal(x, y Fact) bool
+}
+
+// Direction selects forward (entry towards exits) or backward (exits
+// towards entry) propagation.
+type Direction int
+
+// The two directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Analysis is a complete dataflow problem.
+type Analysis struct {
+	Lattice Lattice
+	Dir     Direction
+
+	// Boundary returns the fact entering a boundary block: for a forward
+	// analysis it is consulted for blocks with no predecessors, for a
+	// backward analysis for blocks with no successors (returns, panics,
+	// and the fall-off-the-end block). If nil, Bottom is used.
+	Boundary func(b *cfg.Block) Fact
+
+	// Transfer propagates a fact through one block in the direction of
+	// the analysis: it receives the fact at the block's entry (forward)
+	// or exit (backward) and returns the fact at the other end.
+	Transfer func(b *cfg.Block, in Fact) Fact
+}
+
+// Result holds the solved facts in program order: Before[b] is the fact
+// at b's entry and After[b] the fact at b's exit, for both directions.
+type Result struct {
+	Before map[*cfg.Block]Fact
+	After  map[*cfg.Block]Fact
+}
+
+// Solve runs worklist iteration to the least fixed point.
+func Solve(g *cfg.CFG, a Analysis) *Result {
+	if a.Lattice == nil || a.Transfer == nil {
+		panic("dataflow: Solve requires a Lattice and a Transfer")
+	}
+	boundary := a.Boundary
+	if boundary == nil {
+		boundary = func(*cfg.Block) Fact { return a.Lattice.Bottom() }
+	}
+
+	preds := Preds(g)
+
+	// in[b] is the fact flowing into b in analysis direction; out[b] the
+	// fact leaving it. For Forward in = program-order entry; for
+	// Backward in = program-order exit.
+	in := make(map[*cfg.Block]Fact, len(g.Blocks))
+	out := make(map[*cfg.Block]Fact, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = a.Lattice.Bottom()
+		out[b] = a.Lattice.Bottom()
+	}
+
+	// sources(b) are the blocks whose out-facts feed b; dependents(b)
+	// the blocks to reprocess when out[b] changes.
+	sources := func(b *cfg.Block) []*cfg.Block {
+		if a.Dir == Forward {
+			return preds[b]
+		}
+		return b.Succs
+	}
+	dependents := func(b *cfg.Block) []*cfg.Block {
+		if a.Dir == Forward {
+			return b.Succs
+		}
+		return preds[b]
+	}
+
+	// Seed the worklist with every block. Order barely matters for
+	// correctness; processing in index order (forward) or reverse index
+	// order (backward) converges fastest on the loop shapes we build.
+	work := make([]*cfg.Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	if a.Dir == Backward {
+		for i, j := 0, len(work)-1; i < j; i, j = i+1, j-1 {
+			work[i], work[j] = work[j], work[i]
+		}
+	}
+	queued := make(map[*cfg.Block]bool, len(work))
+	for _, b := range work {
+		queued[b] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		srcs := sources(b)
+		var fact Fact
+		if len(srcs) == 0 {
+			fact = boundary(b)
+		} else {
+			fact = out[srcs[0]]
+			for _, s := range srcs[1:] {
+				fact = a.Lattice.Join(fact, out[s])
+			}
+		}
+		in[b] = fact
+		next := a.Transfer(b, fact)
+		if a.Lattice.Equal(next, out[b]) {
+			continue
+		}
+		out[b] = next
+		for _, d := range dependents(b) {
+			if !queued[d] {
+				queued[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+
+	res := &Result{Before: in, After: out}
+	if a.Dir == Backward {
+		res.Before, res.After = out, in
+	}
+	return res
+}
+
+// Preds computes the predecessor lists of every block.
+func Preds(g *cfg.CFG) map[*cfg.Block][]*cfg.Block {
+	preds := make(map[*cfg.Block][]*cfg.Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// FoldNodes folds f over a block's nodes in the given direction
+// (program order for Forward, reverse for Backward) — the usual way to
+// implement a block transfer from a per-node transfer.
+func FoldNodes(b *cfg.Block, dir Direction, fact Fact, f func(n ast.Node, fact Fact) Fact) Fact {
+	if dir == Forward {
+		for _, n := range b.Nodes {
+			fact = f(n, fact)
+		}
+		return fact
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		fact = f(b.Nodes[i], fact)
+	}
+	return fact
+}
+
+// BoolMust is the lattice of must-facts: Join is AND, so a property
+// holds at a point only if it holds along every path. Bottom is true.
+type BoolMust struct{}
+
+// Bottom implements Lattice.
+func (BoolMust) Bottom() Fact { return true }
+
+// Join implements Lattice.
+func (BoolMust) Join(x, y Fact) Fact { return x.(bool) && y.(bool) }
+
+// Equal implements Lattice.
+func (BoolMust) Equal(x, y Fact) bool { return x.(bool) == y.(bool) }
+
+// BoolMay is the lattice of may-facts: Join is OR, so a property holds
+// at a point if it holds along some path. Bottom is false.
+type BoolMay struct{}
+
+// Bottom implements Lattice.
+func (BoolMay) Bottom() Fact { return false }
+
+// Join implements Lattice.
+func (BoolMay) Join(x, y Fact) Fact { return x.(bool) || y.(bool) }
+
+// Equal implements Lattice.
+func (BoolMay) Equal(x, y Fact) bool { return x.(bool) == y.(bool) }
+
+// VarSet is a set of variables, the fact type of may-taint analyses.
+// Treat values as immutable; use With/Without to derive new sets.
+type VarSet map[*types.Var]bool
+
+// Has reports membership.
+func (s VarSet) Has(v *types.Var) bool { return s[v] }
+
+// With returns s ∪ {v}, sharing s when possible.
+func (s VarSet) With(v *types.Var) VarSet {
+	if s[v] {
+		return s
+	}
+	t := make(VarSet, len(s)+1)
+	for k := range s {
+		t[k] = true
+	}
+	t[v] = true
+	return t
+}
+
+// Without returns s \ {v}, sharing s when possible.
+func (s VarSet) Without(v *types.Var) VarSet {
+	if !s[v] {
+		return s
+	}
+	t := make(VarSet, len(s))
+	for k := range s {
+		if k != v {
+			t[k] = true
+		}
+	}
+	return t
+}
+
+// VarSetLattice is the powerset lattice of variables with union join.
+type VarSetLattice struct{}
+
+// Bottom implements Lattice.
+func (VarSetLattice) Bottom() Fact { return VarSet(nil) }
+
+// Join implements Lattice.
+func (VarSetLattice) Join(x, y Fact) Fact {
+	xs, ys := x.(VarSet), y.(VarSet)
+	if len(xs) == 0 {
+		return ys
+	}
+	if len(ys) == 0 {
+		return xs
+	}
+	t := make(VarSet, len(xs)+len(ys))
+	for k := range xs {
+		t[k] = true
+	}
+	for k := range ys {
+		t[k] = true
+	}
+	return t
+}
+
+// Equal implements Lattice.
+func (VarSetLattice) Equal(x, y Fact) bool {
+	xs, ys := x.(VarSet), y.(VarSet)
+	if len(xs) != len(ys) {
+		return false
+	}
+	for k := range xs {
+		if !ys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Loop is a natural loop: the target of one or more back edges together
+// with every block that can reach a back edge source without passing
+// through the head.
+type Loop struct {
+	Head *cfg.Block
+	// Body contains every block of the loop, including the head.
+	Body map[*cfg.Block]bool
+}
+
+// Exits returns the loop's exit-governing blocks: body blocks with at
+// least one successor outside the loop, in index order. A loop formed
+// entirely of `for {}` has none.
+func (l *Loop) Exits() []*cfg.Block {
+	var exits []*cfg.Block
+	for b := range l.Body {
+		for _, s := range b.Succs {
+			if !l.Body[s] {
+				exits = append(exits, b)
+				break
+			}
+		}
+	}
+	sort.Slice(exits, func(i, j int) bool { return exits[i].Index < exits[j].Index })
+	return exits
+}
+
+// Loops finds the natural loops of g: depth-first search from the entry
+// block marks back edges (edges to a block currently on the DFS stack),
+// and each back edge u→h contributes the blocks that reach u backwards
+// without passing h. Loops sharing a head are merged. Blocks unreachable
+// from the entry (dead code) are not explored, matching the builder's
+// Live marking. Irreducible flow (overlapping goto loops) is reported as
+// separate loops per back-edge head, which is a sound over-approximation
+// for spin detection.
+func Loops(g *cfg.CFG) []*Loop {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	preds := Preds(g)
+
+	const (
+		white = iota // unvisited
+		grey         // on the DFS stack
+		black        // done
+	)
+	color := make(map[*cfg.Block]int, len(g.Blocks))
+	type edge struct{ from, to *cfg.Block }
+	var backs []edge
+
+	// Iterative DFS to keep deeply nested fixtures off the goroutine
+	// stack.
+	type frame struct {
+		b *cfg.Block
+		i int
+	}
+	stack := []frame{{g.Blocks[0], 0}}
+	color[g.Blocks[0]] = grey
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.b.Succs) {
+			s := f.b.Succs[f.i]
+			f.i++
+			switch color[s] {
+			case white:
+				color[s] = grey
+				stack = append(stack, frame{s, 0})
+			case grey:
+				backs = append(backs, edge{f.b, s})
+			}
+			continue
+		}
+		color[f.b] = black
+		stack = stack[:len(stack)-1]
+	}
+
+	byHead := make(map[*cfg.Block]*Loop)
+	var heads []*cfg.Block
+	for _, e := range backs {
+		l := byHead[e.to]
+		if l == nil {
+			l = &Loop{Head: e.to, Body: map[*cfg.Block]bool{e.to: true}}
+			byHead[e.to] = l
+			heads = append(heads, e.to)
+		}
+		// Walk predecessors from the back-edge source, stopping at the
+		// head.
+		work := []*cfg.Block{e.from}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			if l.Body[b] {
+				continue
+			}
+			l.Body[b] = true
+			work = append(work, preds[b]...)
+		}
+	}
+
+	sort.Slice(heads, func(i, j int) bool { return heads[i].Index < heads[j].Index })
+	loops := make([]*Loop, len(heads))
+	for i, h := range heads {
+		loops[i] = byHead[h]
+	}
+	return loops
+}

@@ -1,0 +1,349 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"rme/internal/analysis/cfg"
+	"rme/internal/analysis/dataflow"
+)
+
+func build(t *testing.T, src string) *cfg.CFG {
+	t.Helper()
+	file := "package p\n\nfunc f(p Port, a, b int) int {\n" + src + "\nreturn a\n}\n" +
+		"type Port interface{ Read(int) int; Write(int, int); Pause() }\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body, nil)
+}
+
+func blockOfKind(t *testing.T, g *cfg.CFG, k cfg.BlockKind) *cfg.Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Kind == k {
+			return b
+		}
+	}
+	t.Fatalf("no block of kind %v", k)
+	return nil
+}
+
+// assignsX reports whether n is a statement assigning the variable named
+// x (the toy "definition" both solver tests look for).
+func assignsX(n ast.Node) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "x" {
+			return true
+		}
+	}
+	return false
+}
+
+// TestForwardMust solves "x has been assigned on every path" — a forward
+// must-analysis whose verdict differs between a both-branches program and
+// a one-branch program, which only a path-sensitive analysis can tell
+// apart.
+func TestForwardMust(t *testing.T) {
+	analysis := dataflow.Analysis{
+		Lattice: dataflow.BoolMust{},
+		Dir:     dataflow.Forward,
+		Boundary: func(b *cfg.Block) dataflow.Fact {
+			return false // nothing assigned before the entry
+		},
+		Transfer: func(b *cfg.Block, in dataflow.Fact) dataflow.Fact {
+			return dataflow.FoldNodes(b, dataflow.Forward, in, func(n ast.Node, fact dataflow.Fact) dataflow.Fact {
+				if assignsX(n) {
+					return true
+				}
+				return fact
+			})
+		},
+	}
+
+	both := build(t, `
+x := 0
+_ = x
+if a == 0 {
+	x = 1
+} else {
+	x = 2
+}
+`)
+	res := dataflow.Solve(both, analysis)
+	if got := res.Before[blockOfKind(t, both, cfg.KindIfDone)]; got != true {
+		t.Errorf("both branches assign x: Before[IfDone] = %v, want true", got)
+	}
+
+	oneBranch := build(t, `
+var x int
+_ = x
+if a == 0 {
+	x = 1
+}
+`)
+	res = dataflow.Solve(oneBranch, analysis)
+	if got := res.Before[blockOfKind(t, oneBranch, cfg.KindIfDone)]; got != false {
+		t.Errorf("one branch assigns x: Before[IfDone] = %v, want false", got)
+	}
+
+	// A loop that assigns x on its only path to the exit: the loop body
+	// feeds back into the header, so the fact at the done block is still
+	// false (zero-iteration path).
+	loop := build(t, `
+var x int
+_ = x
+for a == 0 {
+	x = 1
+}
+`)
+	res = dataflow.Solve(loop, analysis)
+	if got := res.Before[blockOfKind(t, loop, cfg.KindForDone)]; got != false {
+		t.Errorf("loop may run zero times: Before[ForDone] = %v, want false", got)
+	}
+}
+
+// TestBackwardMust solves "every path from here reaches an assignment to
+// x before the function returns" — the shape of the persistorder
+// analysis.
+func TestBackwardMust(t *testing.T) {
+	analysis := dataflow.Analysis{
+		Lattice: dataflow.BoolMust{},
+		Dir:     dataflow.Backward,
+		Boundary: func(b *cfg.Block) dataflow.Fact {
+			return false // a return reached without the assignment
+		},
+		Transfer: func(b *cfg.Block, out dataflow.Fact) dataflow.Fact {
+			return dataflow.FoldNodes(b, dataflow.Backward, out, func(n ast.Node, fact dataflow.Fact) dataflow.Fact {
+				if assignsX(n) {
+					return true
+				}
+				return fact
+			})
+		},
+	}
+
+	always := build(t, `
+x := 0
+_ = x
+if a == 0 {
+	x = 1
+} else {
+	x = 2
+}
+`)
+	res := dataflow.Solve(always, analysis)
+	entry := always.Blocks[0]
+	// Before the first x assignment the fact is already true (the x := 0
+	// definition counts), so probe After of the entry block's successor
+	// join: the branch blocks each assign, so After[entry] must be true.
+	if got := res.After[entry]; got != true {
+		t.Errorf("both branches assign x: After[entry] = %v, want true", got)
+	}
+
+	oneBranch := build(t, `
+b = b + 1
+if a == 0 {
+	x := 1
+	_ = x
+}
+`)
+	res = dataflow.Solve(oneBranch, analysis)
+	if got := res.After[oneBranch.Blocks[0]]; got != false {
+		t.Errorf("one branch assigns x: After[entry] = %v, want false", got)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Solve without Transfer should panic")
+		}
+	}()
+	dataflow.Solve(build(t, `a = 1`), dataflow.Analysis{Lattice: dataflow.BoolMay{}})
+}
+
+func TestBoolMay(t *testing.T) {
+	l := dataflow.BoolMay{}
+	if l.Bottom() != false {
+		t.Errorf("BoolMay.Bottom() = %v", l.Bottom())
+	}
+	if l.Join(true, false) != true || l.Join(false, false) != false {
+		t.Errorf("BoolMay.Join wrong")
+	}
+	if !l.Equal(true, true) || l.Equal(true, false) {
+		t.Errorf("BoolMay.Equal wrong")
+	}
+}
+
+func newVar(name string) *types.Var {
+	return types.NewVar(token.NoPos, nil, name, types.Typ[types.Int])
+}
+
+func TestVarSet(t *testing.T) {
+	v1, v2 := newVar("v1"), newVar("v2")
+	var s dataflow.VarSet
+	s = s.With(v1)
+	if !s.Has(v1) || s.Has(v2) {
+		t.Errorf("With/Has wrong: %v", s)
+	}
+	if s2 := s.With(v1); len(s2) != 1 {
+		t.Errorf("With existing should share: %v", s2)
+	}
+	if s2 := s.Without(v2); len(s2) != 1 {
+		t.Errorf("Without non-member should share: %v", s2)
+	}
+	if s2 := s.With(v2).Without(v1); len(s2) != 1 || !s2.Has(v2) {
+		t.Errorf("Without wrong: %v", s2)
+	}
+
+	l := dataflow.VarSetLattice{}
+	empty := l.Bottom().(dataflow.VarSet)
+	if len(empty) != 0 {
+		t.Errorf("Bottom not empty")
+	}
+	a := empty.With(v1)
+	b := empty.With(v2)
+	ab := l.Join(a, b).(dataflow.VarSet)
+	if !ab.Has(v1) || !ab.Has(v2) || len(ab) != 2 {
+		t.Errorf("Join wrong: %v", ab)
+	}
+	if j := l.Join(empty, a).(dataflow.VarSet); !j.Has(v1) {
+		t.Errorf("Join with empty wrong: %v", j)
+	}
+	if j := l.Join(a, empty).(dataflow.VarSet); !j.Has(v1) {
+		t.Errorf("Join with empty wrong: %v", j)
+	}
+	if !l.Equal(ab, l.Join(b, a)) {
+		t.Errorf("Equal wrong for equal sets")
+	}
+	if l.Equal(a, b) || l.Equal(a, ab) {
+		t.Errorf("Equal wrong for different sets")
+	}
+}
+
+func TestLoopsSimple(t *testing.T) {
+	g := build(t, `
+for i := 0; i < a; i++ {
+	b = i
+}
+`)
+	loops := dataflow.Loops(g)
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Head.Kind != cfg.KindForLoop {
+		t.Errorf("head kind = %v, want ForLoop", l.Head.Kind)
+	}
+	// Head, body, post.
+	if len(l.Body) != 3 {
+		t.Errorf("body size = %d, want 3", len(l.Body))
+	}
+	exits := l.Exits()
+	if len(exits) != 1 || exits[0] != l.Head {
+		t.Errorf("exits = %v, want just the head", exits)
+	}
+}
+
+func TestLoopsNested(t *testing.T) {
+	g := build(t, `
+for a < b {
+	for p.Read(a) == 0 {
+		p.Pause()
+	}
+	b = b - 1
+}
+`)
+	loops := dataflow.Loops(g)
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Head.Index > inner.Head.Index {
+		outer, inner = inner, outer
+	}
+	for b := range inner.Body {
+		if !outer.Body[b] {
+			t.Errorf("inner block %d not contained in outer loop", b.Index)
+		}
+	}
+	if len(inner.Body) >= len(outer.Body) {
+		t.Errorf("inner (%d blocks) should be smaller than outer (%d)", len(inner.Body), len(outer.Body))
+	}
+}
+
+func TestLoopsGoto(t *testing.T) {
+	g := build(t, `
+again:
+if p.Read(a) == 0 {
+	goto again
+}
+`)
+	loops := dataflow.Loops(g)
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	if loops[0].Head.Kind != cfg.KindLabel {
+		t.Errorf("goto loop head kind = %v, want Label", loops[0].Head.Kind)
+	}
+}
+
+func TestLoopsInfiniteAndNone(t *testing.T) {
+	// A `for {}` whose only way out is a break: the exit-governing block
+	// is the if header inside the body, not the loop head.
+	g := build(t, `
+for {
+	if p.Read(a) == 0 {
+		break
+	}
+	p.Pause()
+}
+`)
+	loops := dataflow.Loops(g)
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	exits := loops[0].Exits()
+	if len(exits) != 1 {
+		t.Fatalf("exits = %d blocks, want 1", len(exits))
+	}
+	if exits[0].Kind != cfg.KindForBody {
+		t.Errorf("exit block kind = %v, want ForBody (the break's if header)", exits[0].Kind)
+	}
+
+	if loops := dataflow.Loops(build(t, `a = b`)); len(loops) != 0 {
+		t.Errorf("straight-line code: got %d loops, want 0", len(loops))
+	}
+
+	if loops := dataflow.Loops(&cfg.CFG{}); loops != nil {
+		t.Errorf("empty CFG: got %v, want nil", loops)
+	}
+}
+
+func TestPreds(t *testing.T) {
+	g := build(t, `
+if a == 0 {
+	a = 1
+} else {
+	a = 2
+}
+`)
+	preds := dataflow.Preds(g)
+	done := blockOfKind(t, g, cfg.KindIfDone)
+	if len(preds[done]) != 2 {
+		t.Errorf("IfDone should have 2 preds, got %d", len(preds[done]))
+	}
+	if len(preds[g.Blocks[0]]) != 0 {
+		t.Errorf("entry should have no preds")
+	}
+}

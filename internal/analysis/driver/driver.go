@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"rme/internal/analysis"
+	"rme/internal/analysis/rmeutil"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -68,13 +69,32 @@ func Main(progname string, analyzers ...*analysis.Analyzer) {
 		os.Exit(Unitchecker(args[0], analyzers))
 	}
 
-	if len(args) == 0 {
-		args = []string{"./..."}
+	// -sarif (standalone mode only) writes a SARIF 2.1.0 log to stdout;
+	// the human-readable diagnostics still go to stderr and the exit
+	// status is unchanged, so CI can both upload the log and gate on it.
+	sarif := false
+	patterns := args[:0:0]
+	for _, arg := range args {
+		if arg == "-sarif" || arg == "--sarif" {
+			sarif = true
+			continue
+		}
+		patterns = append(patterns, arg)
 	}
-	diags, err := Standalone(args, analyzers)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Standalone(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
+	}
+	if sarif {
+		wd, _ := os.Getwd()
+		if err := WriteSARIF(os.Stdout, progname, wd, analyzers, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing SARIF: %v\n", progname, err)
+			os.Exit(1)
+		}
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
@@ -152,6 +172,7 @@ func checkPackage(importPath string, filenames []string, lookup func(string) (io
 	}
 
 	var diags []Diagnostic
+	usedAllows := map[string]bool{} // "file:line:analyzer" keys recorded by rmeutil.Suppressed
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -159,6 +180,9 @@ func checkPackage(importPath string, filenames []string, lookup func(string) (io
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			UsedAllow: func(file string, line int, analyzer string) {
+				usedAllows[fmt.Sprintf("%s:%d:%s", file, line, analyzer)] = true
+			},
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
@@ -172,8 +196,54 @@ func checkPackage(importPath string, filenames []string, lookup func(string) (io
 			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, importPath, err)
 		}
 	}
+	diags = append(diags, auditAllows(fset, files, importPath, usedAllows)...)
 	sortDiags(diags)
 	return diags, nil
+}
+
+// AllowAuditName is the analyzer name under which the driver reports
+// rme:allow markers that no longer suppress any diagnostic. The audit
+// runs after every registered analyzer, so it is a driver-level check
+// rather than a pass: only the driver knows which markers went unused
+// across the whole suite.
+const AllowAuditName = "allowaudit"
+
+// auditAllows reports every rme:allow marker in an algorithm package
+// that suppressed nothing during this run. A stale allow is worse than
+// noise: it documents a waiver for a diagnostic that no longer exists,
+// and silently swallows the next, unrelated finding on its line.
+func auditAllows(fset *token.FileSet, files []*ast.File, importPath string, used map[string]bool) []Diagnostic {
+	if !rmeutil.IsAlgorithmPackage(importPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range files {
+		if rmeutil.IsTestFile(fset, file) {
+			continue
+		}
+		name := fset.File(file.Pos()).Name()
+		fm := rmeutil.ParseMarkers(fset, file)
+		for _, m := range fm.All {
+			if m.Kind != rmeutil.KindAllow {
+				continue
+			}
+			if used[fmt.Sprintf("%s:%d:%s", name, m.Line, m.Allow)] {
+				continue
+			}
+			pos := fset.Position(m.Pos)
+			if pos.Line != m.Line { // marker inside a multi-line comment
+				pos.Line, pos.Column = m.Line, 1
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: AllowAuditName,
+				Message: fmt.Sprintf(
+					"stale rme:allow(%s: ...) marker: it suppresses no %s diagnostic on this line or the next; delete it",
+					m.Allow, m.Allow),
+			})
+		}
+	}
+	return diags
 }
 
 func sortDiags(diags []Diagnostic) {

@@ -1,6 +1,8 @@
 package driver_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,9 +13,12 @@ import (
 	"rme/internal/analysis/driver"
 	"rme/internal/analysis/passes/flightemit"
 	"rme/internal/analysis/passes/persistfield"
+	"rme/internal/analysis/passes/persistorder"
 	"rme/internal/analysis/passes/portdiscipline"
+	"rme/internal/analysis/passes/portescape"
 	"rme/internal/analysis/passes/sensitive"
 	"rme/internal/analysis/passes/spinloop"
+	"rme/internal/analysis/passes/spinrmr"
 )
 
 var suite = []*analysis.Analyzer{
@@ -22,6 +27,9 @@ var suite = []*analysis.Analyzer{
 	spinloop.Analyzer,
 	persistfield.Analyzer,
 	flightemit.Analyzer,
+	persistorder.Analyzer,
+	portescape.Analyzer,
+	spinrmr.Analyzer,
 }
 
 func needGo(t *testing.T) {
@@ -32,8 +40,10 @@ func needGo(t *testing.T) {
 }
 
 // TestRepoIsClean is the self-enforcement gate: the committed algorithm
-// packages must satisfy all five invariants. A regression here means a
-// new RMW lost its marker, a spin loop lost its Pause, or similar.
+// packages must satisfy all eight invariants (and carry no stale
+// rme:allow markers — the driver's allow audit runs here too). A
+// regression means a new RMW lost its marker, a spin loop lost its
+// Pause, a sensitive FAS lost its persisting write, or similar.
 func TestRepoIsClean(t *testing.T) {
 	needGo(t)
 	diags, err := driver.Standalone([]string{"rme/..."}, suite)
@@ -118,6 +128,126 @@ func TestStandaloneReportsViolations(t *testing.T) {
 	}
 }
 
+// TestStaleAllowAudit checks the driver-level allow audit: an
+// rme:allow marker that suppresses a real diagnostic passes silently,
+// one that suppresses nothing is reported under the "allowaudit" name.
+func TestStaleAllowAudit(t *testing.T) {
+	needGo(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module rme\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "memory", "memory.go"), fakeMemory)
+	writeFile(t, filepath.Join(dir, "internal", "grlock", "allows.go"), allowsGrlock)
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	diags, err := driver.Standalone([]string{"rme/internal/grlock"}, suite)
+	if err != nil {
+		t.Fatalf("standalone driver: %v", err)
+	}
+	var audits []driver.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == driver.AllowAuditName {
+			audits = append(audits, d)
+		} else {
+			// The used allow must really have suppressed its diagnostic.
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if len(audits) != 1 {
+		t.Fatalf("got %d allowaudit diagnostics, want 1: %v", len(audits), audits)
+	}
+	if !strings.Contains(audits[0].Message, "rme:allow(spinloop") {
+		t.Errorf("allowaudit message = %q, want it to name the stale spinloop allow", audits[0].Message)
+	}
+}
+
+// TestWriteSARIF checks the SARIF log is valid 2.1.0 JSON with one rule
+// per analyzer (plus the allow audit) and location URIs relative to the
+// base directory.
+func TestWriteSARIF(t *testing.T) {
+	diags := []driver.Diagnostic{{
+		Analyzer: "portdiscipline",
+		Message:  "algorithm package imports \"sync\"",
+	}}
+	diags[0].Pos.Filename = "/repo/internal/grlock/bad.go"
+	diags[0].Pos.Line = 7
+	diags[0].Pos.Column = 2
+
+	var buf bytes.Buffer
+	if err := driver.WriteSARIF(&buf, "rmevet", "/repo", suite, diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct{ ID string }
+				}
+			}
+			Results []struct {
+				RuleID    string
+				Level     string
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct{ URI string }
+						Region           struct{ StartLine int }
+					}
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version = %q, $schema = %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rmevet" {
+		t.Errorf("tool name = %q, want rmevet", run.Tool.Driver.Name)
+	}
+	if want := len(suite) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d (one per analyzer plus %s)",
+			len(run.Tool.Driver.Rules), want, driver.AllowAuditName)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, name := range []string{"portdiscipline", "persistorder", "portescape", "spinrmr", driver.AllowAuditName} {
+		if !ruleIDs[name] {
+			t.Errorf("rule %q missing from SARIF tool.driver.rules", name)
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "portdiscipline" || res.Level != "error" {
+		t.Errorf("result = %+v, want ruleId portdiscipline, level error", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/grlock/bad.go" {
+		t.Errorf("artifact URI = %q, want path relative to the base dir", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 7 {
+		t.Errorf("startLine = %d, want 7", loc.Region.StartLine)
+	}
+}
+
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
@@ -157,4 +287,15 @@ func swap(p memory.Port, a memory.Addr) memory.Word {
 	hits++
 	return p.FAS(a, 1)
 }
+`
+
+// allowsGrlock carries one rme:allow that suppresses a real diagnostic
+// (the package-level var below it) and one that suppresses nothing.
+const allowsGrlock = `package grlock
+
+// rme:allow(portdiscipline: scratch counter read only by the harness)
+var scratch int
+
+// rme:allow(spinloop: the loop this waived was deleted; marker is stale)
+var _ int
 `

@@ -1,0 +1,158 @@
+package driver
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"rme/internal/analysis"
+)
+
+// The sarif* types model the fragment of SARIF 2.1.0 (the OASIS Static
+// Analysis Results Interchange Format) that code-scanning consumers —
+// GitHub's upload-sarif action in particular — require: one run, one
+// tool with a rule per analyzer, and results carrying a ruleId, a
+// message, and a physical location with a repository-relative URI.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log. Every
+// registered analyzer contributes a rule (plus the driver's own
+// allow-audit), so consumers can display rule help even for analyzers
+// that reported nothing this run. baseDir, when non-empty, is stripped
+// from file paths to produce the repository-relative URIs code-scanning
+// uploads require; pass the repo root (or the working directory the
+// driver ran from).
+func WriteSARIF(w io.Writer, progname, baseDir string, analyzers []*analysis.Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: firstLine(a.Doc)},
+			FullDescription:  sarifMessage{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID: AllowAuditName,
+		ShortDescription: sarifMessage{
+			Text: "report rme:allow markers that no longer suppress any diagnostic"},
+		FullDescription: sarifMessage{
+			Text: "A stale rme:allow(<analyzer>: <why>) marker documents a waiver for a\n" +
+				"diagnostic that no longer exists and silently swallows the next,\n" +
+				"unrelated finding on its line; the driver audits markers after every\n" +
+				"analyzer has run and reports the unused ones."},
+	})
+
+	// results must never be null — GitHub's SARIF ingestion rejects it.
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relativeURI(baseDir, d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: progname, Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relativeURI converts a diagnostic's file path into the forward-slash
+// relative URI SARIF artifact locations use. Paths outside baseDir (or
+// unresolvable ones) fall back to the path as printed.
+func relativeURI(baseDir, filename string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	if doc == "" {
+		return "(undocumented)"
+	}
+	return doc
+}

@@ -11,9 +11,13 @@
 // between.
 //
 // In algorithm packages (test files exempt) the pass reports any call
-// into rme/internal/flight — a method on one of its types or a
-// package-level function — appearing between an rme:sensitive-marked RMW
-// and the next Port.Write in the same function.
+// into rme/internal/flight — a method on one of its types, a
+// package-level function, or a call through a variable bound to a flight
+// method value — appearing between an rme:sensitive-marked RMW and the
+// next Port.Write in the same function. Deferred emits are exempt: a
+// defer runs at return, after the persisting write has closed the
+// window (though the deferred call's arguments still evaluate in place
+// and are checked).
 package flightemit
 
 import (
@@ -59,7 +63,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn, markers, sensLines)
+			checkFunc(pass, file, fn, markers, sensLines)
 		}
 	}
 	return nil
@@ -68,7 +72,7 @@ func run(pass *analysis.Pass) error {
 // checkFunc scans the function's calls in source order: after a
 // sensitive RMW, any flight call before the next Port.Write is a
 // finding.
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarkers, sensLines map[int]bool) {
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, markers *rmeutil.FileMarkers, sensLines map[int]bool) {
 	var calls []*ast.CallExpr
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
@@ -78,9 +82,16 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarke
 	})
 	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
 
+	deferred := deferredCalls(fn)
+	flightVars := flightMethodValues(pass.TypesInfo, fn)
+
 	inWindow := false
 	for _, call := range calls {
 		switch {
+		case deferred[call]:
+			// Runs at return, after the persist has closed the window.
+			// The call's arguments still evaluate in place; nested calls
+			// among them were collected separately and are checked.
 		case rmeutil.IsRMW(pass.TypesInfo, call):
 			// A sensitive marker sits on the RMW's line or the line
 			// above (the attachment rule of the sensitive pass).
@@ -88,12 +99,12 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarke
 			if sensLines[line] || sensLines[line-1] {
 				inWindow = true
 			}
-		case isFlightCall(pass.TypesInfo, call):
+		case isFlightCall(pass.TypesInfo, call) || isFlightVarCall(pass.TypesInfo, call, flightVars):
 			if !inWindow {
 				continue
 			}
 			line := pass.Fset.Position(call.Pos()).Line
-			if !markers.Allowed(name, line) {
+			if !rmeutil.Suppressed(pass, file, markers, line) {
 				pass.Reportf(call.Pos(),
 					"flight-recorder emit between a sensitive FAS and its persisting write: recording must not widen the crash window (Definition 3.3); move it before the FAS or after the persist")
 			}
@@ -106,6 +117,72 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarke
 	}
 }
 
+// deferredCalls collects the calls of the function that execute at
+// return rather than in source order: each DeferStmt's own call and, for
+// a deferred function literal, every call inside its body. Calls nested
+// in a deferred call's arguments are excluded — those evaluate at the
+// defer statement.
+func deferredCalls(fn *ast.FuncDecl) map[*ast.CallExpr]bool {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		deferred[ds.Call] = true
+		if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					deferred[call] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return deferred
+}
+
+// flightMethodValues collects the variables of the function bound to a
+// flight method value (f := fr.Phase), so calls through them are
+// recognized as emits.
+func flightMethodValues(info *types.Info, fn *ast.FuncDecl) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr)
+			if !ok || !isFlightSelector(info, sel) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if v, ok := info.ObjectOf(id).(*types.Var); ok {
+					vars[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// isFlightVarCall reports whether call invokes a variable bound to a
+// flight method value.
+func isFlightVarCall(info *types.Info, call *ast.CallExpr, flightVars map[*types.Var]bool) bool {
+	if len(flightVars) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	return ok && flightVars[v]
+}
+
 // isFlightCall reports whether call invokes rme/internal/flight — a
 // package-level function or a method on one of its types.
 func isFlightCall(info *types.Info, call *ast.CallExpr) bool {
@@ -113,6 +190,12 @@ func isFlightCall(info *types.Info, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
+	return isFlightSelector(info, sel)
+}
+
+// isFlightSelector reports whether sel names a flight package function or
+// a method of a flight type, whether called or taken as a method value.
+func isFlightSelector(info *types.Info, sel *ast.SelectorExpr) bool {
 	if id, isIdent := sel.X.(*ast.Ident); isIdent {
 		if pkg, isPkg := info.Uses[id].(*types.PkgName); isPkg {
 			return pkg.Imported().Path() == flightPath

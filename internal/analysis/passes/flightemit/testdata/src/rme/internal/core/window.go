@@ -1,4 +1,4 @@
-// rme:sensitive-instructions 4
+// rme:sensitive-instructions 9
 package core
 
 import (
@@ -43,4 +43,46 @@ func suppressed(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
 	temp := p.FAS(tail, 1) // rme:sensitive
 	fr.CSEnter(p.PID())    // rme:allow(flightemit: fixture demonstrating suppression)
 	p.Write(pred, temp)
+}
+
+// deferredOK: a deferred emit runs at return, after the persisting write
+// has closed the window — not a finding.
+func deferredOK(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1) // rme:sensitive
+	defer fr.Phase(p.PID(), 1, 1)
+	p.Write(pred, temp)
+}
+
+// deferredClosureOK: same through a deferred function literal.
+func deferredClosureOK(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1) // rme:sensitive
+	defer func() {
+		fr.Phase(p.PID(), 1, 1)
+		flight.Note(p.PID(), "done")
+	}()
+	p.Write(pred, temp)
+}
+
+// deferredArgBad: the deferred call itself runs at return, but its
+// arguments evaluate at the defer statement — inside the window.
+func deferredArgBad(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1)                            // rme:sensitive
+	defer flight.Note(p.PID(), flight.Stamp(p.PID())) // want `flight-recorder emit between a sensitive FAS and its persisting write`
+	p.Write(pred, temp)
+}
+
+// methodValueBad: an emit through a method value is still an emit.
+func methodValueBad(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	emit := fr.Phase
+	temp := p.FAS(tail, 1) // rme:sensitive
+	emit(p.PID(), 1, 1)    // want `flight-recorder emit between a sensitive FAS and its persisting write`
+	p.Write(pred, temp)
+}
+
+// methodValueOK: calling the method value after the persist is fine.
+func methodValueOK(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
+	emit := fr.Phase
+	temp := p.FAS(tail, 1) // rme:sensitive
+	p.Write(pred, temp)
+	emit(p.PID(), 1, 1)
 }

@@ -17,3 +17,7 @@ func (r *Recorder) CSEnter(pid int) {}
 
 // Note is a package-level emit helper.
 func Note(pid int, msg string) {}
+
+// Stamp returns an opaque marker for the process — a flight call usable
+// in argument position.
+func Stamp(pid int) string { return "" }

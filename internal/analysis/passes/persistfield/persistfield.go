@@ -47,7 +47,7 @@ func run(pass *analysis.Pass) error {
 		}
 		markers := rmeutil.ParseMarkers(pass.Fset, file)
 		report := func(pos token.Pos, format string, args ...interface{}) {
-			if markers.Allowed(name, pass.Fset.Position(pos).Line) {
+			if rmeutil.Suppressed(pass, file, markers, pass.Fset.Position(pos).Line) {
 				return
 			}
 			pass.Reportf(pos, format, args...)

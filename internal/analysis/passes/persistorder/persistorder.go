@@ -1,0 +1,196 @@
+// Package persistorder checks, on every control-flow path, that the
+// effect of a sensitive RMW is persisted before the function can expose
+// it to a crash. In the paper's weakly recoverable lock the single
+// sensitive instruction (the FAS on tail, Section 4.3) is immediately
+// followed by the write that publishes the displaced value; the crash
+// window is exactly the gap between the two, and the recovery argument
+// (Lemma 4.4) needs that gap to close before the passage can return or
+// execute another sensitive instruction.
+//
+// The statement-local passes cannot see paths, so a persisting write
+// hoisted into one branch of an if would slip past them. This pass runs
+// a backward must-reach dataflow over the function's control-flow graph:
+// at every point immediately after a sensitive RMW, every path to a
+// return must execute a Port.Write before it returns or reaches the next
+// sensitive RMW. Paths that end in panic are exempt — in this codebase a
+// panic is a harness-detected contract violation, not a recoverable
+// crash.
+//
+// Applies to algorithm packages only; test files are exempt. Suppress a
+// finding with rme:allow(persistorder: <why>).
+package persistorder
+
+import (
+	"go/ast"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/cfg"
+	"rme/internal/analysis/dataflow"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "persistorder"
+
+// Analyzer is the persistorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "require every path after a sensitive RMW to reach a persisting Port.Write\n\n" +
+		"before the function returns or executes the next sensitive instruction\n" +
+		"(backward must-reach dataflow; closes the torn-crash window of Lemma 4.4).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+
+		// Lines holding RMW calls, for the marker attachment rule.
+		rmwLines := map[int]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && rmeutil.IsRMW(pass.TypesInfo, call) {
+				rmwLines[pass.Fset.Position(call.Pos()).Line] = true
+			}
+			return true
+		})
+		sensitive := func(call *ast.CallExpr) bool {
+			if !rmeutil.IsRMW(pass.TypesInfo, call) {
+				return false
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			m, ok := markers.AttachedTo(line, func(l int) bool { return rmwLines[l] })
+			return ok && m.Kind == rmeutil.KindSensitive
+		}
+
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, file, fn, markers, sensitive)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl,
+	markers *rmeutil.FileMarkers, sensitive func(*ast.CallExpr) bool) {
+
+	g := cfg.New(fn.Body, nil)
+
+	// Does the function contain a sensitive RMW at all? The solve is
+	// cheap, but most functions can skip it entirely.
+	any := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			for _, call := range portCalls(pass, n) {
+				if sensitive(call) {
+					any = true
+				}
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Backward must-analysis. The fact at a point means: every path from
+	// here executes a persisting Port.Write before it returns or reaches
+	// the next sensitive RMW.
+	res := dataflow.Solve(g, dataflow.Analysis{
+		Lattice: dataflow.BoolMust{},
+		Dir:     dataflow.Backward,
+		Boundary: func(b *cfg.Block) dataflow.Fact {
+			// Blocks with no successors either return/fall off the end
+			// (the window stays open: false) or end in panic (a contract
+			// violation aborts the run: vacuously true).
+			return endsInPanic(b)
+		},
+		Transfer: func(b *cfg.Block, out dataflow.Fact) dataflow.Fact {
+			return dataflow.FoldNodes(b, dataflow.Backward, out,
+				func(n ast.Node, fact dataflow.Fact) dataflow.Fact {
+					return transferNode(pass, n, fact.(bool), sensitive, nil)
+				})
+		},
+	})
+
+	// Re-fold each block from its solved exit fact, this time reporting
+	// at every sensitive RMW whose fact is still open.
+	for _, b := range g.Blocks {
+		fact := res.After[b].(bool)
+		report := func(call *ast.CallExpr) {
+			line := pass.Fset.Position(call.Pos()).Line
+			if rmeutil.Suppressed(pass, file, markers, line) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"sensitive RMW is not persisted on every path: a return (or the next sensitive instruction) is reachable without an intervening Port.Write")
+		}
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			fact = transferNode(pass, b.Nodes[i], fact, sensitive, report)
+		}
+	}
+}
+
+// transferNode propagates the backward must-persist fact through one CFG
+// node. Port calls inside the node are processed in reverse source order:
+// a Port.Write closes the window; a sensitive RMW opens it, and — when
+// check is non-nil — first verifies the window after itself is closed.
+func transferNode(pass *analysis.Pass, n ast.Node, fact bool,
+	sensitive func(*ast.CallExpr) bool, check func(*ast.CallExpr)) bool {
+
+	calls := portCalls(pass, n)
+	for i := len(calls) - 1; i >= 0; i-- {
+		call := calls[i]
+		_, method, _ := rmeutil.PortCall(pass.TypesInfo, call)
+		switch {
+		case method == "Write":
+			fact = true
+		case sensitive(call):
+			if !fact && check != nil {
+				check(call)
+			}
+			fact = false
+		}
+	}
+	return fact
+}
+
+// portCalls returns the memory.Port method calls under n in source order,
+// using the cfg traversal convention (function literals and range bodies
+// belong to other blocks).
+func portCalls(pass *analysis.Pass, n ast.Node) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	cfg.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, _, ok := rmeutil.PortCall(pass.TypesInfo, call); ok && recv == "Port" {
+				calls = append(calls, call)
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+// endsInPanic reports whether the block's last node is a call to the
+// built-in panic — the cfg builder's criterion for a terminating call.
+func endsInPanic(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	es, ok := b.Nodes[len(b.Nodes)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,13 @@
+package persistorder_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/persistorder"
+)
+
+func TestPersistOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), persistorder.Analyzer,
+		"rme/internal/core")
+}

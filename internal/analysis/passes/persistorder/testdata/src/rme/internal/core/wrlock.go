@@ -1,0 +1,81 @@
+package core
+
+import "rme/internal/memory"
+
+// good: the persisting write directly follows the sensitive FAS — the
+// paper's WR-Lock shape.
+func swapThenPersist(p memory.Port, tail, pred memory.Addr, v memory.Word) {
+	old := p.FAS(tail, v) // rme:sensitive
+	p.Write(pred, old)
+}
+
+// good multi-path: every branch persists before the return.
+func bothBranchesPersist(p memory.Port, tail, pred memory.Addr, v memory.Word) {
+	old := p.FAS(tail, v) // rme:sensitive
+	if old == 0 {
+		p.Write(pred, 1)
+	} else {
+		p.Write(pred, old)
+	}
+}
+
+// bad multi-path: the persist is present on one branch and missing on
+// the other — invisible to a statement-local check, decided here by the
+// backward must-reach analysis.
+func oneBranchPersists(p memory.Port, tail, pred memory.Addr, v memory.Word) {
+	old := p.FAS(tail, v) // rme:sensitive // want `sensitive RMW is not persisted on every path`
+	if old == 0 {
+		p.Write(pred, 1)
+	}
+}
+
+// good: a retry loop that persists before looping back or returning.
+func retryPersists(p memory.Port, tail, pred memory.Addr) {
+	for {
+		old := p.FAS(tail, 1) // rme:sensitive
+		p.Write(pred, old)
+		if old == 0 {
+			return
+		}
+	}
+}
+
+// bad: the early return exits between the FAS and its persist.
+func earlyReturnSkipsPersist(p memory.Port, tail, pred memory.Addr) {
+	for {
+		old := p.FAS(tail, 1) // rme:sensitive // want `sensitive RMW is not persisted on every path`
+		if old == 0 {
+			return
+		}
+		p.Write(pred, old)
+	}
+}
+
+// good: a panic path is a harness-detected contract violation, not a
+// recoverable crash, so it does not need the persist.
+func panicPathExempt(p memory.Port, tail, pred memory.Addr, v memory.Word) {
+	old := p.FAS(tail, v) // rme:sensitive
+	if old > 9 {
+		panic("core: tail corrupted (contract violated)")
+	}
+	p.Write(pred, old)
+}
+
+// bad: a second sensitive instruction executes before the first one's
+// effect is persisted.
+func backToBackSensitive(p memory.Port, tail, pred memory.Addr) {
+	a := p.FAS(tail, 1) // rme:sensitive // want `sensitive RMW is not persisted on every path`
+	b := p.FAS(tail, 2) // rme:sensitive
+	p.Write(pred, a+b)
+}
+
+// good: nonsensitive RMWs are exempt from persist ordering.
+func idempotentExempt(p memory.Port, a memory.Addr) {
+	p.CAS(a, 0, 1) // rme:nonsensitive(idempotent: re-execution after a crash repeats the same transition)
+}
+
+// good: an acknowledged exception is suppressed.
+func acknowledged(p memory.Port, tail memory.Addr) {
+	// rme:allow(persistorder: fixture exercising the suppression path)
+	_ = p.FAS(tail, 1) // rme:sensitive
+}

@@ -54,7 +54,7 @@ func run(pass *analysis.Pass) error {
 		markers := rmeutil.ParseMarkers(pass.Fset, file)
 		report := func(pos ast.Node, format string, args ...interface{}) {
 			line := pass.Fset.Position(pos.Pos()).Line
-			if markers.Allowed(name, line) {
+			if rmeutil.Suppressed(pass, file, markers, line) {
 				return
 			}
 			pass.Reportf(pos.Pos(), format, args...)

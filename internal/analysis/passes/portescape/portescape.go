@@ -1,0 +1,335 @@
+// Package portescape keeps memory.Port handles confined to the passage
+// that holds them. A port is a process's private capability to shared
+// memory for the duration of one passage (Section 2 of the paper): the
+// framework hands it to Recover/Enter/Exit and revokes it on crash. A
+// port that leaks into a package-level variable, a heap-resident struct
+// field, a channel, or a closure that outlives the call can be replayed
+// after the owning process has crashed and its super-passage restarted —
+// exactly the stale-capability bug the simulator's crash adversary cannot
+// reliably provoke.
+//
+// The pass runs a forward may-taint dataflow over each function's
+// control-flow graph. Sources are Port-typed parameters and Port-typed
+// call results; assignments propagate taint (with strong updates, so
+// overwriting a variable clears it — only a flow-sensitive analysis can
+// tell `q = p; q = nil; g = q` from `q = nil; q = p; g = q`). Sinks are
+// stores to package-level variables, stores through selectors or
+// indexing (heap-reachable memory), channel sends, and returning a
+// function literal that captures a tainted variable.
+//
+// Soundness caveats (documented in DESIGN §14): the analysis is
+// intra-procedural, so a callee that stashes its Port argument is out of
+// scope (the portdiscipline pass constrains those signatures), and
+// returning a bare port value is permitted — the caller is part of the
+// same passage.
+//
+// Applies to algorithm packages only; test files are exempt. Suppress a
+// finding with rme:allow(portescape: <why>).
+package portescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/cfg"
+	"rme/internal/analysis/dataflow"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "portescape"
+
+// Analyzer is the portescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid memory.Port handles from escaping the passage that holds them\n\n" +
+		"(to globals, heap-reachable stores, channels, or returned closures),\n" +
+		"via a forward may-taint dataflow over the control-flow graph.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, file, fn, markers)
+		}
+	}
+	return nil
+}
+
+// checker carries the per-function analysis state.
+type checker struct {
+	pass    *analysis.Pass
+	file    *ast.File
+	markers *rmeutil.FileMarkers
+	report  bool // second phase: deliver diagnostics while re-folding
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, markers *rmeutil.FileMarkers) {
+	g := cfg.New(fn.Body, nil)
+	c := &checker{pass: pass, file: file, markers: markers}
+
+	entryTaint := dataflow.VarSet(nil)
+	for _, field := range paramFields(fn) {
+		for _, nm := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[nm].(*types.Var); ok && isPortType(v.Type()) {
+				entryTaint = entryTaint.With(v)
+			}
+		}
+	}
+	if len(entryTaint) == 0 && !mentionsPortCall(pass, fn.Body) {
+		return // no port can enter this function
+	}
+
+	analysisDef := dataflow.Analysis{
+		Lattice: dataflow.VarSetLattice{},
+		Dir:     dataflow.Forward,
+		Boundary: func(b *cfg.Block) dataflow.Fact {
+			return entryTaint
+		},
+		Transfer: func(b *cfg.Block, in dataflow.Fact) dataflow.Fact {
+			return dataflow.FoldNodes(b, dataflow.Forward, in,
+				func(n ast.Node, fact dataflow.Fact) dataflow.Fact {
+					return c.transferNode(n, fact.(dataflow.VarSet))
+				})
+		},
+	}
+	res := dataflow.Solve(g, analysisDef)
+
+	// Re-fold with reporting on, feeding each block its solved entry
+	// fact.
+	c.report = true
+	for _, b := range g.Blocks {
+		fact := res.Before[b].(dataflow.VarSet)
+		for _, n := range b.Nodes {
+			fact = c.transferNode(n, fact)
+		}
+	}
+}
+
+// transferNode propagates taint through one CFG node and, in the report
+// phase, checks it for escape sinks.
+func (c *checker) transferNode(n ast.Node, fact dataflow.VarSet) dataflow.VarSet {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fact = c.checkStores(n, fact)
+		fact = c.propagate(n.Lhs, n.Rhs, fact)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, nm := range vs.Names {
+						lhs[i] = nm
+					}
+					fact = c.propagate(lhs, vs.Values, fact)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if c.report && c.tainted(n.Value, fact) {
+			c.reportAt(n.Arrow, "port handle sent on a channel: it escapes the passage and can be replayed after a crash")
+		}
+	case *ast.ReturnStmt:
+		if c.report {
+			for _, r := range n.Results {
+				if fl, ok := ast.Unparen(r).(*ast.FuncLit); ok && c.captures(fl, fact) {
+					c.reportAt(fl.Pos(), "returned closure captures a port handle: it outlives the passage that holds the port")
+				}
+			}
+		}
+	}
+	return fact
+}
+
+// propagate applies one (possibly parallel) assignment to the taint set:
+// a tainted right-hand side taints its targets, an untainted one clears
+// them (the strong update that makes the analysis flow-sensitive).
+func (c *checker) propagate(lhs, rhs []ast.Expr, fact dataflow.VarSet) dataflow.VarSet {
+	set := func(fact dataflow.VarSet, target ast.Expr, taint bool) dataflow.VarSet {
+		v := asVar(c.pass.TypesInfo, target)
+		if v == nil {
+			return fact
+		}
+		if taint {
+			return fact.With(v)
+		}
+		return fact.Without(v)
+	}
+	switch {
+	case len(rhs) == 0:
+		// var q memory.Port — zero value, untainted.
+		for _, l := range lhs {
+			fact = set(fact, l, false)
+		}
+	case len(lhs) == len(rhs):
+		for i, l := range lhs {
+			fact = set(fact, l, c.tainted(rhs[i], fact))
+		}
+	default:
+		// q, ok := m[k] and friends: one rhs feeding several targets.
+		taint := false
+		for _, r := range rhs {
+			if c.tainted(r, fact) {
+				taint = true
+			}
+		}
+		for _, l := range lhs {
+			fact = set(fact, l, taint && isPortType(typeOf(c.pass.TypesInfo, l)))
+		}
+	}
+	return fact
+}
+
+// checkStores reports assignments whose target lets a tainted value
+// escape: package-level variables and heap-reachable stores (through a
+// selector or an index expression).
+func (c *checker) checkStores(as *ast.AssignStmt, fact dataflow.VarSet) dataflow.VarSet {
+	if !c.report {
+		return fact
+	}
+	for i, l := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Lhs) == len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) > 0 {
+			rhs = as.Rhs[0]
+		}
+		if rhs == nil || !c.tainted(rhs, fact) {
+			continue
+		}
+		switch target := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			if v := asVar(c.pass.TypesInfo, target); v != nil && isPackageLevel(v) {
+				c.reportAt(as.TokPos, "port handle stored in package-level variable %s: it escapes the passage and can be replayed after a crash", v.Name())
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			c.reportAt(as.TokPos, "port handle stored in heap-reachable memory: it escapes the passage and can be replayed after a crash")
+		}
+	}
+	return fact
+}
+
+// tainted reports whether evaluating e may yield a port obtained in this
+// passage: it mentions a tainted variable, calls something that returns
+// a Port, or builds a closure over a tainted variable.
+func (c *checker) tainted(e ast.Expr, fact dataflow.VarSet) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v := asVar(c.pass.TypesInfo, n); v != nil && fact.Has(v) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isPortType(typeOf(c.pass.TypesInfo, n)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// captures reports whether the function literal reads a variable that is
+// tainted at the point the literal is built.
+func (c *checker) captures(fl *ast.FuncLit, fact dataflow.VarSet) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := asVar(c.pass.TypesInfo, id); v != nil && fact.Has(v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) reportAt(pos token.Pos, format string, args ...interface{}) {
+	line := c.pass.Fset.Position(pos).Line
+	if rmeutil.Suppressed(c.pass, c.file, c.markers, line) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// mentionsPortCall reports whether the body contains any call returning a
+// Port — the only way taint can arise without a Port parameter.
+func mentionsPortCall(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPortType(typeOf(pass.TypesInfo, call)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// paramFields returns the function's receiver and parameter fields.
+func paramFields(fn *ast.FuncDecl) []*ast.Field {
+	var fields []*ast.Field
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv.List...)
+	}
+	if fn.Type.Params != nil {
+		fields = append(fields, fn.Type.Params.List...)
+	}
+	return fields
+}
+
+// isPortType reports whether t is the memory.Port interface.
+func isPortType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == rmeutil.MemoryPath && obj.Name() == "Port"
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// asVar resolves an identifier expression to its variable, or nil.
+func asVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.ObjectOf(id).(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,13 @@
+package portescape_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/portescape"
+)
+
+func TestPortEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), portescape.Analyzer,
+		"rme/internal/grlock")
+}

@@ -1,0 +1,92 @@
+package grlock
+
+import "rme/internal/memory"
+
+var leaked memory.Port
+
+var hook func()
+
+var sink chan memory.Port
+
+type holder struct {
+	port memory.Port
+	next *holder
+}
+
+// bad: the port handle outlives the passage in a package-level variable.
+func storeGlobal(p memory.Port) {
+	leaked = p // want `port handle stored in package-level variable leaked`
+}
+
+// bad: stored through a field, the handle is reachable from the heap.
+func storeField(h *holder, p memory.Port) {
+	h.port = p // want `port handle stored in heap-reachable memory`
+}
+
+// bad: same through an index expression.
+func storeSlice(hs []memory.Port, p memory.Port) {
+	hs[0] = p // want `port handle stored in heap-reachable memory`
+}
+
+// bad: a channel hands the port to whoever receives it.
+func sendPort(p memory.Port) {
+	sink <- p // want `port handle sent on a channel`
+}
+
+// bad: the returned closure retains the port past the call.
+func leakClosure(p memory.Port) func() {
+	return func() { p.Pause() } // want `returned closure captures a port handle`
+}
+
+// bad: a closure over the port parked in a global.
+func storeClosure(p memory.Port) {
+	hook = func() { p.Pause() } // want `port handle stored in package-level variable hook`
+}
+
+// bad multi-path: the alias is tainted on one branch only; the
+// may-analysis joins the branches and still reports the store.
+func branchTaint(p memory.Port, cond bool) {
+	var q memory.Port
+	if cond {
+		q = p
+	}
+	leaked = q // want `port handle stored in package-level variable leaked`
+}
+
+// good: the strong update clears the alias before the store — only a
+// flow-sensitive analysis can accept this while rejecting branchTaint.
+func killThenStore(p memory.Port) {
+	q := p
+	q = nil
+	leaked = q
+}
+
+// good: ports may be used freely within the passage.
+func localUse(p memory.Port, a memory.Addr) memory.Word {
+	q := p
+	return q.Read(a)
+}
+
+// good: returning the bare port stays within the passage (the caller is
+// part of it).
+func passThrough(p memory.Port) memory.Port {
+	return p
+}
+
+// good: a call result of Port type is tainted, but local use is fine.
+func obtained(h *holder, a memory.Addr) memory.Word {
+	q := h.get()
+	return q.Read(a)
+}
+
+// bad: a call-obtained port escapes like any other.
+func obtainedEscapes(h *holder) {
+	leaked = h.get() // want `port handle stored in package-level variable leaked`
+}
+
+// good: an acknowledged exception is suppressed.
+func acknowledged(p memory.Port) {
+	leaked = p // rme:allow(portescape: fixture exercising the suppression path)
+}
+
+func (h *holder) get() memory.Port { return h.port }

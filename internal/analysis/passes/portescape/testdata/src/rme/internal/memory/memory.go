@@ -1,0 +1,50 @@
+// Package memory is a fixture mirror of rme/internal/memory: just enough
+// surface for the analyzers' type checks (Port, Space, Addr, Word).
+package memory
+
+// Word is the unit of shared storage.
+type Word = uint64
+
+// Addr names one word of shared memory.
+type Addr uint32
+
+// Nil is the null address.
+const Nil Addr = 0
+
+// HomeNone marks a location remote to every process under DSM.
+const HomeNone = -1
+
+// Space allocates shared memory.
+type Space interface {
+	Alloc(nwords int, home int) Addr
+}
+
+// Port is one process's view of shared memory.
+type Port interface {
+	Space
+	PID() int
+	N() int
+	Read(a Addr) Word
+	Write(a Addr, v Word)
+	FAS(a Addr, v Word) Word
+	CAS(a Addr, old, new Word) bool
+	Label(l string)
+	Pause()
+}
+
+// Bool encodes a boolean into a word.
+func Bool(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// AsBool decodes a word written by Bool.
+func AsBool(w Word) bool { return w != 0 }
+
+// FromAddr encodes an address into a word.
+func FromAddr(a Addr) Word { return Word(a) }
+
+// AsAddr decodes a word written by FromAddr.
+func AsAddr(w Word) Addr { return Addr(w) }

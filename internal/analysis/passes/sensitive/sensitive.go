@@ -72,7 +72,7 @@ func run(pass *analysis.Pass) error {
 			line := pass.Fset.Position(call.Pos()).Line
 			m, ok := markers.AttachedTo(line, func(l int) bool { return rmwLines[l] })
 			if !ok {
-				if !markers.Allowed(name, line) {
+				if !rmeutil.Suppressed(pass, file, markers, line) {
 					pass.Reportf(call.Pos(),
 						"unmarked RMW through memory.Port: annotate with rme:sensitive or rme:nonsensitive(<why>) (Definition 3.3)")
 				}
@@ -104,7 +104,7 @@ func run(pass *analysis.Pass) error {
 		}
 		switch {
 		case len(decls) == 0:
-			if len(rmws) > 0 && !markers.Allowed(name, pass.Fset.Position(file.Name.Pos()).Line) {
+			if len(rmws) > 0 && !rmeutil.Suppressed(pass, file, markers, pass.Fset.Position(file.Name.Pos()).Line) {
 				pass.Reportf(file.Name.Pos(),
 					"file contains %d RMW instruction(s) but no rme:sensitive-instructions <n> declaration", len(rmws))
 			}

@@ -54,13 +54,13 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn, markers)
+			checkFunc(pass, file, fn, markers)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarkers) {
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, markers *rmeutil.FileMarkers) {
 	info := pass.TypesInfo
 	// Variables assigned (anywhere in the function) from an expression
 	// that reads shared memory, with the positions of those assignments.
@@ -88,7 +88,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, markers *rmeutil.FileMarke
 	})
 
 	report := func(pos token.Pos, format string, args ...interface{}) {
-		if markers.Allowed(name, pass.Fset.Position(pos).Line) {
+		if rmeutil.Suppressed(pass, file, markers, pass.Fset.Position(pos).Line) {
 			return
 		}
 		pass.Reportf(pos, format, args...)

@@ -1,0 +1,259 @@
+// Package spinrmr classifies every loop whose exit depends on shared
+// memory and holds each class to the paper's RMR budget. Under cache
+// coherence a read-only spin on a fixed location costs O(1) RMRs: the
+// first read installs a cached copy and subsequent reads are local until
+// the awaited write invalidates it. A loop that performs a FAS, CAS, or
+// Write on every iteration has no such bound — each round trip is a
+// fresh remote reference, which is exactly the unbounded-RMR hazard the
+// paper's adaptive construction exists to avoid (Sections 4.3, 5.2).
+//
+// The pass finds natural loops on the function's control-flow graph
+// (catching goto-formed loops the syntactic spinloop pass cannot see)
+// and computes, per loop, the set of variables carrying values read
+// through a port. A loop is a *spin* when it has exit-governing blocks
+// and every one of them depends on port state — directly or through such
+// a variable. Loops that also exit through local state (a bounded scan
+// like the bakery doorway, a counted retry) are not spins and are not
+// constrained here. For each spin:
+//
+//   - if its body performs a Write, FAS, or CAS, it must carry an
+//     rme:rmw-loop(<why>) marker on the loop's line or the line above,
+//     certifying a reviewed bound on its retry count;
+//   - otherwise it is a cached-read spin and must contain a Port.Pause
+//     backoff so the native backend yields while waiting.
+//
+// Stale rme:rmw-loop markers (attached to no RMW spin) are reported, so
+// the inventory cannot rot.
+//
+// Applies to algorithm packages only; test files are exempt. Suppress a
+// finding with rme:allow(spinrmr: <why>).
+package spinrmr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/cfg"
+	"rme/internal/analysis/dataflow"
+	"rme/internal/analysis/rmeutil"
+)
+
+const name = "spinrmr"
+
+// Analyzer is the spinrmr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "classify port-governed loops on the control-flow graph: cached-read spins\n\n" +
+		"need a Port.Pause backoff, RMW retry loops need an rme:rmw-loop(<why>)\n" +
+		"marker certifying a bounded retry count, and stale markers are reported.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rmeutil.IsAlgorithmPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rmeutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		markers := rmeutil.ParseMarkers(pass.Fset, file)
+
+		// Lines on which an RMW spin sits (marker-eligible lines), for
+		// the stale-marker audit.
+		rmwLoopLines := map[int]bool{}
+
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, file, fn, markers, rmwLoopLines)
+		}
+
+		for _, m := range markers.All {
+			if m.Kind != rmeutil.KindRMWLoop {
+				continue
+			}
+			if !rmwLoopLines[m.Line] && !rmwLoopLines[m.Line+1] {
+				pass.Reportf(m.Pos,
+					"stale rme:rmw-loop marker: no RMW spin loop starts on this line or the next")
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl,
+	markers *rmeutil.FileMarkers, rmwLoopLines map[int]bool) {
+
+	info := pass.TypesInfo
+	g := cfg.New(fn.Body, nil)
+
+	for _, loop := range dataflow.Loops(g) {
+		// Tally the port operations of the whole loop body.
+		var ops rmeutil.PortOps
+		for b := range loop.Body {
+			for _, n := range b.Nodes {
+				o := rmeutil.PortOpsIn(info, n)
+				ops.Reads += o.Reads
+				ops.Writes += o.Writes
+				ops.RMWs += o.RMWs
+				ops.Pauses += o.Pauses
+			}
+		}
+		if ops.Reads == 0 && ops.Writes == 0 && ops.RMWs == 0 {
+			continue // no shared memory involved; not our concern
+		}
+
+		exits := loop.Exits()
+		if len(exits) == 0 {
+			continue // for {} with no way out: spinloop's department
+		}
+		taint := loopTaint(info, loop)
+		spin := true
+		for _, b := range exits {
+			if !portDependent(info, b, taint) {
+				spin = false
+				break
+			}
+		}
+		if !spin {
+			continue // also exits through local state: a bounded scan
+		}
+
+		pos := loopPos(loop)
+		line := pass.Fset.Position(pos).Line
+		if ops.Writes > 0 || ops.RMWs > 0 {
+			rmwLoopLines[line] = true
+			if markers.HasRMWLoop(line) {
+				continue
+			}
+			if rmeutil.Suppressed(pass, file, markers, line) {
+				continue
+			}
+			pass.Reportf(pos,
+				"port-governed loop performs %s on every retry: unbounded RMRs unless the retry count is bounded; certify with rme:rmw-loop(<why>)",
+				describeMutations(ops))
+			continue
+		}
+		if ops.Pauses == 0 {
+			if rmeutil.Suppressed(pass, file, markers, line) {
+				continue
+			}
+			pass.Reportf(pos,
+				"cached-read spin has no Port.Pause backoff: add the step-gate hint so the native backend yields while spinning")
+		}
+	}
+}
+
+// loopTaint computes, to a fixpoint, the variables that carry values read
+// through a port anywhere in the loop: assigned from an expression
+// containing a Port.Read/FAS/CAS or mentioning an already-tainted
+// variable.
+func loopTaint(info *types.Info, loop *dataflow.Loop) dataflow.VarSet {
+	var nodes []ast.Node
+	for b := range loop.Body {
+		nodes = append(nodes, b.Nodes...)
+	}
+	taint := dataflow.VarSet(nil)
+	for {
+		changed := false
+		for _, n := range nodes {
+			cfg.Inspect(n, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				fromPort := false
+				for _, rhs := range as.Rhs {
+					if readsPort(info, rhs) || mentionsTainted(info, rhs, taint) {
+						fromPort = true
+					}
+				}
+				if !fromPort {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if v := asVar(info, lhs); v != nil && !taint.Has(v) {
+						taint = taint.With(v)
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+		if !changed {
+			return taint
+		}
+	}
+}
+
+// portDependent reports whether the block's nodes read shared memory
+// directly or mention a variable tainted by a port read.
+func portDependent(info *types.Info, b *cfg.Block, taint dataflow.VarSet) bool {
+	for _, n := range b.Nodes {
+		if readsPort(info, n) || mentionsTainted(info, n, taint) {
+			return true
+		}
+	}
+	return false
+}
+
+// readsPort reports whether n contains a Port.Read, FAS, or CAS.
+func readsPort(info *types.Info, n ast.Node) bool {
+	ops := rmeutil.PortOpsIn(info, n)
+	return ops.Reads > 0 || ops.RMWs > 0
+}
+
+// mentionsTainted reports whether n mentions a variable in taint.
+func mentionsTainted(info *types.Info, n ast.Node, taint dataflow.VarSet) bool {
+	if len(taint) == 0 {
+		return false
+	}
+	found := false
+	cfg.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := asVar(info, id); v != nil && taint.Has(v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopPos returns the position to report the loop at: its head's
+// statement (the for or labeled statement) when there is one, otherwise
+// the head block's first node.
+func loopPos(loop *dataflow.Loop) token.Pos {
+	if loop.Head.Stmt != nil {
+		return loop.Head.Stmt.Pos()
+	}
+	return loop.Head.Pos()
+}
+
+func describeMutations(ops rmeutil.PortOps) string {
+	switch {
+	case ops.RMWs > 0 && ops.Writes > 0:
+		return "RMW and Write operations"
+	case ops.RMWs > 0:
+		return "an RMW"
+	default:
+		return "a Write"
+	}
+}
+
+// asVar resolves an identifier expression to its variable, or nil.
+func asVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.ObjectOf(id).(*types.Var); ok {
+		return v
+	}
+	return nil
+}

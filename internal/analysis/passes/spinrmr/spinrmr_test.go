@@ -1,0 +1,13 @@
+package spinrmr_test
+
+import (
+	"testing"
+
+	"rme/internal/analysis/analysistest"
+	"rme/internal/analysis/passes/spinrmr"
+)
+
+func TestSpinRMR(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spinrmr.Analyzer,
+		"rme/internal/yalock")
+}

@@ -1,0 +1,106 @@
+package yalock
+
+import "rme/internal/memory"
+
+// good: cached-read spin — read-only body with a Pause backoff; O(1)
+// RMRs under cache coherence.
+func cachedSpin(p memory.Port, a memory.Addr) {
+	for p.Read(a) == 0 {
+		p.Pause()
+	}
+}
+
+// good: the cached copy is re-checked through a local variable; the exit
+// still depends on port state, and the body only reads and pauses.
+func cachedSpinVar(p memory.Port, a memory.Addr) {
+	for {
+		v := p.Read(a)
+		if v != 0 {
+			break
+		}
+		p.Pause()
+	}
+}
+
+// bad: a read-only spin with no backoff burns the step gate.
+func noBackoff(p memory.Port, a memory.Addr) {
+	for p.Read(a) == 0 { // want `cached-read spin has no Port.Pause backoff`
+	}
+}
+
+// bad: an unmarked retry loop whose every iteration performs a CAS —
+// each retry is a fresh remote reference, so the RMR count is unbounded
+// without an external argument.
+func casRetry(p memory.Port, tail memory.Addr) {
+	for { // want `port-governed loop performs an RMW on every retry`
+		cur := p.Read(tail)
+		if p.CAS(tail, cur, cur+1) {
+			return
+		}
+	}
+}
+
+// good: the same loop with the reviewed-bound certificate.
+func casRetryMarked(p memory.Port, tail memory.Addr) {
+	// rme:rmw-loop(two competitors: at most one interference per passage bounds the retries)
+	for {
+		cur := p.Read(tail)
+		if p.CAS(tail, cur, cur+1) {
+			return
+		}
+	}
+}
+
+// bad: writing a wake-up word on every iteration is just as unbounded as
+// an RMW retry.
+func writeInSpin(p memory.Port, a, w memory.Addr) {
+	for p.Read(a) == 0 { // want `port-governed loop performs a Write on every retry`
+		p.Write(w, 1)
+		p.Pause()
+	}
+}
+
+// good: a bounded scan — the exit is governed by a local counter, so the
+// loop is not a spin even though the body reads ports.
+func boundedScan(p memory.Port, base memory.Addr, n int) memory.Word {
+	var sum memory.Word
+	for j := 0; j < n; j++ {
+		sum += p.Read(base + memory.Addr(j))
+	}
+	return sum
+}
+
+// good: a counted retry with a port-governed early exit is not a spin —
+// the counter path bounds it. Only the exit-governing-block rule, not a
+// per-statement scan, can tell this from casRetry.
+func boundedRetry(p memory.Port, tail memory.Addr) bool {
+	for j := 0; j < 8; j++ {
+		if p.CAS(tail, 0, 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// bad: a goto-formed retry loop — invisible to any for-statement scan;
+// only the control-flow graph finds the back edge.
+func gotoRetry(p memory.Port, tail memory.Addr) {
+again: // want `port-governed loop performs an RMW on every retry`
+	cur := p.Read(tail)
+	if !p.CAS(tail, cur, cur+1) {
+		goto again
+	}
+}
+
+// bad: the marker must be attached to an RMW spin, or it rots.
+// rme:rmw-loop(stale: nothing below is a loop) // want `stale rme:rmw-loop marker`
+func notALoop(p memory.Port, a memory.Addr) {
+	p.Write(a, 1)
+}
+
+// good: an acknowledged exception is suppressed.
+func acknowledged(p memory.Port, a memory.Addr) {
+	// rme:allow(spinrmr: fixture exercising the suppression path)
+	for p.Read(a) == 0 {
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"rme/internal/analysis"
+	"rme/internal/analysis/cfg"
 )
 
 // MemoryPath is the import path of the shared-memory substrate. The
@@ -135,6 +138,10 @@ const (
 	// KindAllow suppresses a named analyzer on the next line
 	// ("rme:allow(analyzer: reason)").
 	KindAllow
+	// KindRMWLoop marks a loop whose body performs an RMW as a reviewed,
+	// bounded-RMR retry loop ("rme:rmw-loop(<why>)"); the spinrmr
+	// analyzer requires it on every such loop.
+	KindRMWLoop
 	// KindInvalid is a marker that failed to parse; Err explains why.
 	KindInvalid
 )
@@ -221,6 +228,12 @@ func parseOne(text string, idx []int) Marker {
 					strconv.Quote(fields[0])}
 		}
 		return Marker{Kind: KindInventory, Count: n}
+	case "rmw-loop":
+		if !hasParens || args == "" {
+			return Marker{Kind: KindInvalid,
+				Err: "rme:rmw-loop requires a justification: rme:rmw-loop(<why>)"}
+		}
+		return Marker{Kind: KindRMWLoop, Reason: args}
 	case "allow":
 		analyzer, reason, found := strings.Cut(args, ":")
 		analyzer = strings.TrimSpace(analyzer)
@@ -240,6 +253,73 @@ func (fm *FileMarkers) Allowed(analyzer string, line int) bool {
 	for _, l := range []int{line, line - 1} {
 		for _, m := range fm.ByLine[l] {
 			if m.Kind == KindAllow && m.Allow == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Suppressed reports whether an rme:allow marker on the diagnostic's line
+// or the line above suppresses a diagnostic of pass.Analyzer, and records
+// the use through pass.UsedAllow so the driver can audit markers that no
+// longer suppress anything. Analyzers should call this instead of Allowed.
+func Suppressed(pass *analysis.Pass, file *ast.File, fm *FileMarkers, line int) bool {
+	name := pass.Analyzer.Name
+	for _, l := range []int{line, line - 1} {
+		for _, m := range fm.ByLine[l] {
+			if m.Kind == KindAllow && m.Allow == name {
+				if pass.UsedAllow != nil {
+					pass.UsedAllow(pass.Fset.File(file.Pos()).Name(), l, name)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PortOps tallies the memory.Port calls syntactically contained in a
+// node, using cfg.Inspect's traversal convention (function literal bodies
+// and range bodies excluded), so it composes with CFG block nodes.
+type PortOps struct {
+	Reads  int
+	Writes int
+	RMWs   int
+	Pauses int
+}
+
+// PortOpsIn classifies every Port call under n.
+func PortOpsIn(info *types.Info, n ast.Node) PortOps {
+	var ops PortOps
+	cfg.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := PortCall(info, call); ok && recv == "Port" {
+			switch method {
+			case "Read":
+				ops.Reads++
+			case "Write":
+				ops.Writes++
+			case "FAS", "CAS":
+				ops.RMWs++
+			case "Pause":
+				ops.Pauses++
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// HasRMWLoop reports whether an rme:rmw-loop(<why>) marker sits on the
+// given line or the line above (the same attachment rule as rme:allow).
+func (fm *FileMarkers) HasRMWLoop(line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, m := range fm.ByLine[l] {
+			if m.Kind == KindRMWLoop {
 				return true
 			}
 		}

@@ -156,6 +156,7 @@ func (l *PortLock) Enter(p memory.Port, s int) {
 // predecessor before each swing so a crash never loses the position.
 func (l *PortLock) append(p memory.Port, s int) {
 	me := ref(s, p.Read(l.seq[s]))
+	// rme:rmw-loop(tail-swing retry: a CAS fails only when another process completed its own enqueue, so retries are bounded by point contention, the paper's O(min(k, log n)) argument)
 	for {
 		cur := p.Read(l.tail)
 		p.Write(l.pred[s], cur)

@@ -134,6 +134,7 @@ func (r *NotifyPool) await(p memory.Port, idx int) {
 	if idx == i || t == 0 {
 		return
 	}
+	// rme:rmw-loop(the want registration re-runs only after a stale ack from an earlier registration, at most once per outstanding retire, so the Write retry is bounded)
 	for {
 		if p.Read(r.out[idx]) >= t {
 			return

@@ -143,6 +143,7 @@ func (a *Arbitrator) Enter(p memory.Port, s Side) {
 	// The inner spin is on a local word; the outer re-check runs at most
 	// a bounded number of times per rival passage, so the loop costs
 	// O(1) RMRs overall.
+	// rme:rmw-loop(the spin[i] reset re-runs only when the rival signals, at most O(1) times per rival passage, so the Write retry is bounded)
 	for p.Read(a.flag[o]) != 0 && p.Read(a.turn) == memory.Word(s) {
 		for p.Read(a.spin[i]) == 0 {
 			p.Pause()
