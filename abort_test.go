@@ -1,0 +1,326 @@
+package rme
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLockCtxAcquires(t *testing.T) {
+	m, err := New(2, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockCtx(context.Background(), 0); err != nil {
+		t.Fatalf("LockCtx: %v", err)
+	}
+	m.Unlock(0)
+	s, _ := m.MetricsSnapshot()
+	if s.Passages != 1 || s.Aborted != 0 {
+		t.Fatalf("passages=%d aborted=%d, want 1/0", s.Passages, s.Aborted)
+	}
+}
+
+func TestLockCtxPreCancelled(t *testing.T) {
+	m, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.LockCtx(ctx, 0); err != context.Canceled {
+		t.Fatalf("LockCtx = %v, want context.Canceled", err)
+	}
+	// The lock was never touched: a plain acquisition must work.
+	m.Lock(0)
+	m.Unlock(0)
+}
+
+func TestLockCtxCancelWhileQueued(t *testing.T) {
+	m, err := New(2, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Lock(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- m.LockCtx(ctx, 1) }()
+	// Give the waiter time to enqueue behind the holder, then cancel.
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("LockCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled LockCtx did not return (back-out stuck)")
+	}
+	m.Unlock(0)
+	// The abandoned queue entry must not wedge later acquisitions by
+	// either process.
+	m.Lock(1)
+	m.Unlock(1)
+	m.Lock(0)
+	m.Unlock(0)
+
+	s, _ := m.MetricsSnapshot()
+	if s.Aborted != 1 {
+		t.Fatalf("aborted=%d, want 1", s.Aborted)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("attempts=%d != passages=%d + aborted=%d + crashed=%d",
+			s.Attempts, s.Passages, s.Aborted, s.CrashedAttempts)
+	}
+	if got := s.AbortRMRHist.Total(); got != 1 {
+		t.Fatalf("abort RMR histogram holds %d samples, want 1", got)
+	}
+}
+
+func TestLockCtxCancelAfterAcquire(t *testing.T) {
+	m, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := m.LockCtx(ctx, 0); err != nil {
+		t.Fatalf("LockCtx: %v", err)
+	}
+	// Cancelling after acquisition must not disturb the held lock...
+	cancel()
+	if m.TryLockFor(1, time.Millisecond) {
+		t.Fatal("TryLockFor succeeded while the lock was held")
+	}
+	m.Unlock(0)
+	// ...and must not leave a stale abort flag that kills pid 0's next
+	// plain (non-abortable) acquisition.
+	m.Lock(0)
+	m.Unlock(0)
+}
+
+func TestTryLockFor(t *testing.T) {
+	m, err := New(2, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.TryLockFor(0, time.Second) {
+		t.Fatal("uncontended TryLockFor failed")
+	}
+	if m.TryLockFor(1, 100*time.Microsecond) {
+		t.Fatal("TryLockFor succeeded against a held lock")
+	}
+	m.Unlock(0)
+	if !m.TryLockFor(1, time.Second) {
+		t.Fatal("TryLockFor failed after release")
+	}
+	m.Unlock(1)
+	s, _ := m.MetricsSnapshot()
+	if s.Passages != 2 || s.Aborted != 1 {
+		t.Fatalf("passages=%d aborted=%d, want 2/1", s.Passages, s.Aborted)
+	}
+}
+
+func TestPassageCtxCancelled(t *testing.T) {
+	m, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Lock(0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	ran := false
+	ok, err := m.PassageCtx(ctx, 1, func() { ran = true })
+	if ok || err != context.DeadlineExceeded {
+		t.Fatalf("PassageCtx = (%v, %v), want (false, DeadlineExceeded)", ok, err)
+	}
+	if ran {
+		t.Fatal("critical section ran despite the abort")
+	}
+	m.Unlock(0)
+}
+
+func TestPassageCtxCrashReturnsFalseNil(t *testing.T) {
+	var left atomic.Int64
+	left.Store(1)
+	fail := func(pid int) bool {
+		return pid == 0 && left.Add(-1) == 0
+	}
+	m, err := New(2, WithFailures(fail), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	first := true
+	for {
+		ok, err := m.PassageCtx(context.Background(), 0, func() { count++ })
+		if err != nil {
+			t.Fatalf("PassageCtx error: %v", err)
+		}
+		if first && ok {
+			t.Fatal("first attempt completed despite the injected crash")
+		}
+		first = false
+		if ok {
+			break
+		}
+	}
+	s, _ := m.MetricsSnapshot()
+	if s.Crashes != 1 || s.Passages != 1 {
+		t.Fatalf("crashes=%d passages=%d, want 1/1", s.Crashes, s.Passages)
+	}
+}
+
+// TestAbortCrashRecoverStress mixes deadline-bounded attempts, context
+// cancellation and injected crashes under -race, then checks the exact
+// metrics identities: every attempt is accounted for exactly once
+// (completed, aborted, or crashed — never two of them), every injected
+// crash is counted, and both abort histograms agree with the abort
+// counter.
+func TestAbortCrashRecoverStress(t *testing.T) {
+	const (
+		n        = 6
+		passages = 120
+		maxInj   = 30
+	)
+	var injected atomic.Int64
+	// Per-process seeded RNGs keep the hook race-free (a pid is driven
+	// by one goroutine at a time).
+	failRngs := make([]*rand.Rand, n)
+	for i := range failRngs {
+		failRngs[i] = rand.New(rand.NewSource(int64(i) + 101))
+	}
+	fail := func(pid int) bool {
+		if injected.Load() >= maxInj {
+			return false
+		}
+		if failRngs[pid].Float64() < 0.001 {
+			injected.Add(1)
+			return true
+		}
+		return false
+	}
+	m, err := New(n, WithFailures(fail), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var counter int // plain shared state: -race catches CS overlap
+	var inCS int32
+	// Caller-visible outcome counts, one per Passage/PassageCtx call:
+	// together they partition the attempts the recorder saw.
+	var calls, completed, deadlined, crashed atomic.Uint64
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)*7919 + 1))
+			cs := func() {
+				if !atomic.CompareAndSwapInt32(&inCS, 0, 1) {
+					t.Error("two processes in the critical section")
+				}
+				counter++
+				atomic.StoreInt32(&inCS, 0)
+			}
+			for k := 0; k < passages; k++ {
+				for {
+					if rng.Float64() < 0.3 {
+						// Deadline-bounded attempt; expiry while queued
+						// backs out and the iteration retries.
+						d := time.Duration(1+rng.Intn(15)) * time.Microsecond
+						ctx, cancel := context.WithTimeout(context.Background(), d)
+						calls.Add(1)
+						ok, err := m.PassageCtx(ctx, pid, cs)
+						cancel()
+						if ok {
+							completed.Add(1)
+							break
+						}
+						switch err {
+						case context.DeadlineExceeded:
+							deadlined.Add(1)
+						case nil:
+							crashed.Add(1)
+						default:
+							t.Errorf("pid %d: PassageCtx error %v", pid, err)
+							return
+						}
+						continue // aborted or crashed: retry
+					}
+					calls.Add(1)
+					if m.Passage(pid, cs) {
+						completed.Add(1)
+						break
+					}
+					crashed.Add(1)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+
+	if got := completed.Load(); got != n*passages {
+		t.Fatalf("completed %d passages, want %d", got, n*passages)
+	}
+	// The CS counter may exceed the passage count by at most the injected
+	// crash count (a crash after the CS but before Exit completes reruns
+	// the passage), and must never fall short of it.
+	inj := injected.Load()
+	if int64(counter) < n*passages || int64(counter) > n*passages+inj {
+		t.Fatalf("counter = %d, want in [%d, %d]", counter, n*passages, int64(n*passages)+inj)
+	}
+
+	s, ok := m.MetricsSnapshot()
+	if !ok {
+		t.Fatal("metrics not enabled")
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("attempts=%d != passages=%d + aborted=%d + crashed=%d",
+			s.Attempts, s.Passages, s.Aborted, s.CrashedAttempts)
+	}
+	// Every Passage/PassageCtx call opened exactly one attempt, and each
+	// closed under exactly one outcome — no double-counted passages. The
+	// only call that opens no attempt is one whose microsecond deadline
+	// had already expired at LockCtx's pre-check.
+	if s.Attempts > calls.Load() {
+		t.Fatalf("recorder counted %d attempts, made only %d calls", s.Attempts, calls.Load())
+	}
+	preExpired := calls.Load() - s.Attempts
+	if s.CrashedAttempts != crashed.Load() {
+		t.Fatalf("recorder counted %d crashed attempts, callers saw %d", s.CrashedAttempts, crashed.Load())
+	}
+	// A deadline expiry either never opened an attempt (pre-expired),
+	// backed out (recorded aborted), or lost the race to the acquisition,
+	// which completes the passage at the lock level before reporting the
+	// cancellation — so recorder passages exceed caller-visible
+	// completions by exactly the late cancels.
+	if s.Passages < completed.Load() {
+		t.Fatalf("recorder counted %d passages, callers completed %d", s.Passages, completed.Load())
+	}
+	late := s.Passages - completed.Load()
+	if s.Aborted+late+preExpired != deadlined.Load() {
+		t.Fatalf("aborted=%d + late-cancel passages=%d + pre-expired=%d != deadline failures %d",
+			s.Aborted, late, preExpired, deadlined.Load())
+	}
+	if s.Crashes != uint64(inj) {
+		t.Fatalf("recorder counted %d crashes, injected %d", s.Crashes, inj)
+	}
+	if got := s.AbortRMRHist.Total(); got != s.Aborted {
+		t.Fatalf("abort RMR histogram holds %d samples, aborted=%d", got, s.Aborted)
+	}
+	var abandoned uint64
+	for _, v := range s.AbandonedHist {
+		abandoned += v
+	}
+	if abandoned != s.Aborted {
+		t.Fatalf("abandoned-level histogram sums to %d, aborted=%d", abandoned, s.Aborted)
+	}
+	if got := s.RMRHist.Total(); got != s.Passages {
+		t.Fatalf("per-passage RMR histogram holds %d samples, passages=%d", got, s.Passages)
+	}
+	t.Logf("attempts=%d passages=%d aborted=%d crashed=%d crashes=%d",
+		s.Attempts, s.Passages, s.Aborted, s.CrashedAttempts, s.Crashes)
+}

@@ -31,6 +31,9 @@
 //	tracing      flight-recorder overhead A/B: no recorder vs present-but-
 //	             disabled vs recording, median wall clock per passage
 //	             (the BENCH_tracing.json source; CI bounds off at 5%)
+//	abort        abortable passages: failure-free and back-out RMRs at
+//	             abort rates 0/1%/10% via the deadline API
+//	             (the BENCH_abort.json source)
 //	all          everything above, in order
 //
 // With -json, tables (and the native report) are emitted as JSON documents
@@ -62,9 +65,10 @@ func main() {
 		reps     = flag.Int("reps", 3, "native: repetitions per measurement (best kept)")
 		mpass    = flag.Int("mpassages", 5000, "metrics: passages per measurement")
 		mfail    = flag.String("mfailures", "1,2,4,8,16,32", "metrics: comma-separated injected failure budgets F")
+		arates   = flag.String("arates", "0,0.01,0.10", "abort: comma-separated deadline-attempt rates")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native metrics all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native metrics tracing abort all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -98,15 +102,25 @@ func main() {
 	opts := bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList}
 	nopts := bench.NativeOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
 	mopts := bench.MetricsOpts{MaxWorkers: *workers, Passages: *mpass, Failures: failList}
+	var rateList []float64
+	for _, s := range strings.Split(*arates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v < 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "rmebench: bad abort rate %q\n", s)
+			os.Exit(2)
+		}
+		rateList = append(rateList, v)
+	}
+	aopts := bench.AbortOpts{Workers: *workers, Passages: *mpass, Rates: rateList}
 	topts := bench.TracingOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
 
-	if err := run(flag.Arg(0), opts, nopts, mopts, topts, *seed, *csv, *jsonOut); err != nil {
+	if err := run(flag.Arg(0), opts, nopts, mopts, topts, aopts, *seed, *csv, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, topts bench.TracingOpts, seed int64, csv, jsonOut bool) error {
+func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, topts bench.TracingOpts, aopts bench.AbortOpts, seed int64, csv, jsonOut bool) error {
 	show := func(t *bench.Table) error {
 		switch {
 		case jsonOut:
@@ -198,11 +212,25 @@ func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.Metric
 			return nil
 		}
 		return show(rep.Table())
+	case "abort":
+		rep, err := bench.AbortCost(aopts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			raw, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		return show(rep.Table())
 	case "all":
 		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
 			"adaptivity", "escalation", "batch", "resp", "components", "scale",
-			"ablation", "reclaim", "superpassage", "native", "metrics", "tracing"} {
-			if err := run(e, opts, nopts, mopts, topts, seed, csv, jsonOut); err != nil {
+			"ablation", "reclaim", "superpassage", "native", "metrics", "tracing", "abort"} {
+			if err := run(e, opts, nopts, mopts, topts, aopts, seed, csv, jsonOut); err != nil {
 				return err
 			}
 			fmt.Println()

@@ -6,6 +6,13 @@
 //
 //	rmesim -lock ba-log -n 16 -model cc -requests 5 -unsafe 4 -v
 //
+// Abortable locks additionally accept abort injection: -aborts N delivers
+// up to N aborts at random instruction boundaries, and -abortat places
+// deterministic deliveries at exact (pid, instruction-index) boundaries:
+//
+//	rmesim -lock ba-log -aborts 3
+//	rmesim -lock wr -abortat 1@14,2@20
+//
 // The available locks are listed with -list.
 //
 // With -repro, rmesim instead replays a recorded violation artifact
@@ -42,6 +49,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "scheduler seed")
 		failures = flag.Int("failures", 0, "random failures to inject at instruction boundaries")
 		unsafe   = flag.Int("unsafe", 0, "unsafe failures to inject immediately after sensitive FAS instructions")
+		aborts   = flag.Int("aborts", 0, "random abort deliveries to inject at instruction boundaries")
+		abortAt  = flag.String("abortat", "", "comma-separated deterministic abort placements pid@opindex")
 		csops    = flag.Int("csops", 1, "critical-section length in instructions")
 		verbose  = flag.Bool("v", false, "dump lifecycle events")
 		timeline = flag.Bool("timeline", false, "render an ASCII timeline of the run")
@@ -85,6 +94,16 @@ func main() {
 		plan = append(plan, &sim.UnsafeBudget{Total: *unsafe, Rate: 0.3,
 			MaxPerProcess: (*unsafe + *n - 1) / *n})
 	}
+	if *aborts > 0 {
+		plan = append(plan, &sim.RandomAborts{Rate: 0.02, MaxTotal: *aborts})
+	}
+	if *abortAt != "" {
+		pts, err := parsePoints(*abortAt, *n)
+		if err != nil {
+			fatal(err)
+		}
+		plan = append(plan, &sim.AbortSet{Points: pts})
+	}
 	cfg := sim.Config{
 		N:         *n,
 		Model:     mdl,
@@ -127,6 +146,7 @@ func main() {
 	fmt.Printf("config      n=%d model=%v requests=%d seed=%d\n", *n, mdl, *requests, *seed)
 	fmt.Printf("steps       %d\n", res.Steps)
 	fmt.Printf("crashes     %d\n", res.CrashCount())
+	fmt.Printf("aborts      %d\n", res.AbortCount())
 	fmt.Printf("arena       %d words\n", res.ArenaWords)
 	fmt.Printf("max CS occupancy  %d\n", res.MaxCSOverlap)
 	fmt.Printf("passage RMRs      %v\n", res.SummarizePassageRMRs(nil))
@@ -153,6 +173,27 @@ func main() {
 	if checkErr != nil {
 		os.Exit(1)
 	}
+}
+
+// parsePoints parses "pid@opindex,pid@opindex" into crash/abort points.
+func parsePoints(arg string, n int) ([]sim.CrashPoint, error) {
+	var pts []sim.CrashPoint
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var pid int
+		var at int64
+		if _, err := fmt.Sscanf(part, "%d@%d", &pid, &at); err != nil {
+			return nil, fmt.Errorf("bad placement %q (want pid@opindex): %w", part, err)
+		}
+		if pid < 0 || pid >= n || at < 0 {
+			return nil, fmt.Errorf("placement %q out of range for n=%d", part, n)
+		}
+		pts = append(pts, sim.CrashPoint{PID: pid, OpIndex: at})
+	}
+	return pts, nil
 }
 
 // replayArtifact replays a repro file and reports whether the recorded

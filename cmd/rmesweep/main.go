@@ -4,7 +4,10 @@
 // to a horizon, the rendezvous immediately after each RMW (the sensitive
 // window of Definition 3.3/3.4), and optionally pairs of after-RMW crashes
 // for the F ≥ 2 escalation paths — re-executes the workload with exactly
-// that crash set and re-checks the paper's properties.
+// that crash set and re-checks the paper's properties. With -aborts it
+// also sweeps abort placements: an abort delivery at every boundary, an
+// abort after each RMW, and abort×crash pairs that crash the process while
+// it is running the back-out protocol itself.
 //
 // The sweep is the mechanical proof-obligation runner for each recoverable
 // layer: where cmd/soak samples adversaries from a seed, rmesweep visits
@@ -13,7 +16,7 @@
 //
 // Usage:
 //
-//	rmesweep -locks wr,sa,ba-log -n 4 -model both -requests 2 -pairs
+//	rmesweep -locks wr,sa,ba-log -n 4 -model both -requests 2 -pairs -aborts
 package main
 
 import (
@@ -32,17 +35,19 @@ import (
 
 func main() {
 	var (
-		locks    = flag.String("locks", "wr,sa,ba-log", "comma-separated locks to sweep (see rmesim -list)")
-		n        = flag.Int("n", 4, "number of processes")
-		model    = flag.String("model", "both", "memory model: cc, dsm or both")
-		requests = flag.Int("requests", 2, "satisfied requests per process")
-		seed     = flag.Int64("seed", 1, "scheduler seed for every placement run")
-		csops    = flag.Int("csops", 2, "critical-section length in instructions")
-		horizon  = flag.Int64("horizon", 0, "per-process instruction horizon for boundary placements (0 = full stream)")
-		pairs    = flag.Bool("pairs", false, "add two-crash placements for the F≥2 escalation paths")
-		maxPairs = flag.Int("maxpairs", 64, "cap on two-crash placements")
-		out      = flag.String("out", ".", "directory for shrunk repro artifacts")
-		verbose  = flag.Bool("v", false, "print per-placement progress")
+		locks         = flag.String("locks", "wr,sa,ba-log", "comma-separated locks to sweep (see rmesim -list)")
+		n             = flag.Int("n", 4, "number of processes")
+		model         = flag.String("model", "both", "memory model: cc, dsm or both")
+		requests      = flag.Int("requests", 2, "satisfied requests per process")
+		seed          = flag.Int64("seed", 1, "scheduler seed for every placement run")
+		csops         = flag.Int("csops", 2, "critical-section length in instructions")
+		horizon       = flag.Int64("horizon", 0, "per-process instruction horizon for boundary placements (0 = full stream)")
+		pairs         = flag.Bool("pairs", false, "add two-crash placements for the F≥2 escalation paths")
+		maxPairs      = flag.Int("maxpairs", 64, "cap on two-crash placements")
+		aborts        = flag.Bool("aborts", false, "add abort placements (every boundary, after each RMW, abort×crash pairs)")
+		maxAbortPairs = flag.Int("maxabortpairs", 64, "cap on abort×crash pair placements")
+		out           = flag.String("out", ".", "directory for shrunk repro artifacts")
+		verbose       = flag.Bool("v", false, "print per-placement progress")
 	)
 	flag.Parse()
 
@@ -79,6 +84,7 @@ func main() {
 			placements, violations, err := sweepOne(spec, mdl, sweepOpts{
 				n: *n, requests: *requests, seed: *seed, csops: *csops,
 				horizon: *horizon, pairs: *pairs, maxPairs: *maxPairs,
+				aborts: *aborts, maxAbortPairs: *maxAbortPairs,
 				outDir: *out, verbose: *verbose,
 			})
 			if err != nil {
@@ -100,17 +106,32 @@ type sweepOpts struct {
 	horizon            int64
 	pairs              bool
 	maxPairs           int
+	aborts             bool
+	maxAbortPairs      int
 	outDir             string
 	verbose            bool
 }
 
 func sweepOne(spec workload.Spec, mdl memory.Model, o sweepOpts) (placements, violations int, err error) {
+	aborts := o.aborts
+	if aborts {
+		// Abort placements only make sense for locks implementing the
+		// back-out protocol; the runner would ignore them anyway, so skip
+		// the redundant placements up front.
+		probe := spec.New(memory.NewArena(mdl, o.n), o.n)
+		if _, ok := probe.(sim.Aborter); !ok {
+			fmt.Printf("%-10s %v: abort placements skipped (lock is not abortable)\n", spec.Name, mdl)
+			aborts = false
+		}
+	}
 	sc := sim.SweepConfig{
 		Config: sim.Config{N: o.n, Model: mdl, Requests: o.requests,
 			Seed: o.seed, CSOps: o.csops, MaxSteps: 10_000_000},
-		Horizon:  o.horizon,
-		Pairs:    o.pairs,
-		MaxPairs: o.maxPairs,
+		Horizon:       o.horizon,
+		Pairs:         o.pairs,
+		MaxPairs:      o.maxPairs,
+		Aborts:        aborts,
+		MaxAbortPairs: o.maxAbortPairs,
 	}
 	plan, err := sim.PlanSweep(sc, spec.New)
 	if err != nil {
@@ -141,8 +162,14 @@ func sweepOne(spec workload.Spec, mdl memory.Model, o sweepOpts) (placements, vi
 			fmt.Printf("  repro written to %s\n", path)
 		}
 	}
-	fmt.Printf("%-10s %v: %d placements (%d instructions traced), %d violations\n",
-		spec.Name, mdl, len(plan.Placements), traced(plan), violations)
+	nAborts := 0
+	for _, pl := range plan.Placements {
+		if pl.HasAborts() {
+			nAborts++
+		}
+	}
+	fmt.Printf("%-10s %v: %d placements (%d abort, %d instructions traced), %d violations\n",
+		spec.Name, mdl, len(plan.Placements), nAborts, traced(plan), violations)
 	return len(plan.Placements), violations, nil
 }
 
@@ -156,7 +183,14 @@ func traced(plan *sim.SweepPlan) int {
 
 func record(spec workload.Spec, mdl memory.Model, sc sim.SweepConfig, pl sim.Placement, idx int, observed error, outDir string) (string, error) {
 	cfg := sc.Config
-	cfg.Plan = &sim.CrashSet{Points: append([]sim.CrashPoint{}, pl.Points...)}
+	if pl.HasAborts() {
+		cfg.Plan = &sim.FaultSet{
+			Crashes: sim.CrashSet{Points: append([]sim.CrashPoint{}, pl.Points...)},
+			Aborts:  sim.AbortSet{Points: append([]sim.CrashPoint{}, pl.Aborts...)},
+		}
+	} else {
+		cfg.Plan = &sim.CrashSet{Points: append([]sim.CrashPoint{}, pl.Points...)}
+	}
 	strength := repro.StrengthStrong
 	if spec.Strength == workload.Weak {
 		strength = repro.StrengthWeak

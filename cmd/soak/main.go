@@ -8,6 +8,12 @@
 // delta debugging (internal/repro), and written to -out as a JSON file that
 // cmd/rmesim -repro replays bit-exactly. A violating campaign exits
 // non-zero.
+//
+// With -timeout, a wall-clock watchdog bounds the whole campaign: if it
+// has not finished in time (a livelocked lock, a starved scheduler), the
+// watchdog writes a flight-recorder post-mortem of the run in progress —
+// the last lifecycle events per process, renderable with cmd/rmetrace —
+// and exits non-zero.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"rme/internal/check"
 	"rme/internal/memory"
@@ -39,6 +47,62 @@ type campaign struct {
 	outDir   string
 	specs    []workload.Spec
 	stdout   io.Writer
+	// watch, if non-nil, shadows every run with a rolling event tail so a
+	// wall-clock watchdog can write a post-mortem of a stuck run.
+	watch *watchdog
+}
+
+// watchdog keeps a bounded tail of the lifecycle events of the run in
+// progress, updated synchronously from the scheduler via Config.OnEvent.
+// On timeout it converts the tail into a flight recording — the same
+// post-mortem format the violation path dumps — without needing the stuck
+// run to return a Result.
+type watchdog struct {
+	mu    sync.Mutex
+	lock  string
+	model memory.Model
+	seed  int64
+	n     int
+	tail  []sim.Event
+}
+
+func (w *watchdog) begin(lock string, model memory.Model, seed int64, n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lock, w.model, w.seed, w.n = lock, model, seed, n
+	w.tail = w.tail[:0]
+}
+
+func (w *watchdog) observe(ev sim.Event, _ *memory.Arena) {
+	if ev.Kind == sim.EvOp {
+		return // lifecycle tail only; op streams are unbounded
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	limit := flightTail * w.n
+	if len(w.tail) >= limit {
+		copy(w.tail, w.tail[len(w.tail)-limit/2:])
+		w.tail = w.tail[:limit/2]
+	}
+	w.tail = append(w.tail, ev)
+}
+
+// postMortem writes the current tail as a flight recording and returns
+// the path plus a description of the interrupted run.
+func (w *watchdog) postMortem(outDir string) (string, string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	desc := fmt.Sprintf("%s/%v seed=%d", w.lock, w.model, w.seed)
+	res := &sim.Result{Config: sim.Config{N: w.n},
+		Events: append([]sim.Event{}, w.tail...)}
+	rec := trace.SimRecording(res).Tail(flightTail)
+	rec.Note = fmt.Sprintf("soak watchdog timeout during %s", desc)
+	name := fmt.Sprintf("flight-watchdog-%s-%v-seed%d.json", w.lock, w.model, w.seed)
+	path := filepath.Join(outDir, name)
+	if err := rec.WriteFile(path); err != nil {
+		return "", desc, err
+	}
+	return path, desc, nil
 }
 
 // plan builds the per-run adversary. Each run needs a fresh, identical
@@ -47,12 +111,17 @@ func (c *campaign) plan() sim.FailurePlan {
 	return sim.PlanSeq{
 		&sim.RandomFailures{Rate: 0.008, MaxPerProcess: 3, DuringPassage: true},
 		&sim.UnsafeBudget{Total: 3, Rate: 0.4, MaxPerProcess: 1},
+		&sim.RandomAborts{Rate: 0.004, MaxPerProcess: 2},
 	}
 }
 
 func (c *campaign) config(model memory.Model, seed int64) sim.Config {
-	return sim.Config{N: c.n, Model: model, Requests: c.requests,
+	cfg := sim.Config{N: c.n, Model: model, Requests: c.requests,
 		Seed: seed, Plan: c.plan(), CSOps: 3, MaxSteps: 30_000_000}
+	if c.watch != nil {
+		cfg.OnEvent = c.watch.observe
+	}
+	return cfg
 }
 
 func strengthName(s workload.Strength) string {
@@ -119,6 +188,9 @@ func (c *campaign) run() (int, int) {
 		}
 		for _, model := range []memory.Model{memory.CC, memory.DSM} {
 			for seed := int64(0); seed < int64(c.seeds); seed++ {
+				if c.watch != nil {
+					c.watch.begin(spec.Name, model, seed, c.n)
+				}
 				r, err := sim.New(c.config(model, seed), spec.New)
 				if err != nil {
 					panic(err)
@@ -141,8 +213,8 @@ func (c *campaign) run() (int, int) {
 					continue
 				}
 				failures++
-				fmt.Fprintf(c.stdout, "FAIL %s/%v seed=%d (%d crashes): %v\n",
-					spec.Name, model, seed, res.CrashCount(), cerr)
+				fmt.Fprintf(c.stdout, "FAIL %s/%v seed=%d (%d crashes, %d aborts): %v\n",
+					spec.Name, model, seed, res.CrashCount(), res.AbortCount(), cerr)
 				if fp, ferr := c.dumpFlight(spec, model, seed, res, cerr); ferr != nil {
 					fmt.Fprintf(c.stdout, "  flight: %v\n", ferr)
 				} else {
@@ -170,6 +242,7 @@ func main() {
 	n := flag.Int("n", 6, "processes")
 	requests := flag.Int("requests", 3, "requests per process")
 	out := flag.String("out", ".", "directory for shrunk repro artifacts")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the whole campaign (0 = off)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -186,7 +259,34 @@ func main() {
 	}
 	c := &campaign{seeds: *seeds, n: *n, requests: *requests,
 		outDir: *out, specs: specs, stdout: os.Stdout}
-	if _, failures := c.run(); failures > 0 {
-		os.Exit(1)
+
+	if *timeout <= 0 {
+		if _, failures := c.run(); failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	c.watch = &watchdog{}
+	done := make(chan int, 1)
+	go func() {
+		_, failures := c.run()
+		done <- failures
+	}()
+	select {
+	case failures := <-done:
+		if failures > 0 {
+			os.Exit(1)
+		}
+	case <-time.After(*timeout):
+		path, desc, err := c.watch.postMortem(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: watchdog timeout after %v during %s; post-mortem failed: %v\n",
+				*timeout, desc, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "soak: watchdog timeout after %v during %s; post-mortem → %s (render: rmetrace -timeline %s)\n",
+				*timeout, desc, path, path)
+		}
+		os.Exit(3)
 	}
 }

@@ -130,3 +130,65 @@ func TestCampaignCleanOnCorrectLocks(t *testing.T) {
 		t.Fatalf("clean campaign wrote %d artifacts", len(entries))
 	}
 }
+
+// TestWatchdogPostMortem feeds the watchdog a shadowed run's event stream
+// (the OnEvent path the campaign wires up under -timeout) and checks the
+// post-mortem: a valid rme-flight/v1 file naming the interrupted run, with
+// streams bounded by flightTail.
+func TestWatchdogPostMortem(t *testing.T) {
+	dir := t.TempDir()
+	w := &watchdog{}
+	w.begin("fixture-stuck", memory.CC, 7, 2)
+
+	// Simulate a run that emits far more lifecycle events than the tail
+	// bound; the ring must stay bounded and keep the most recent window.
+	seq := int64(0)
+	for i := 0; i < flightTail*8; i++ {
+		for pid := 0; pid < 2; pid++ {
+			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvPassageStart}, nil)
+			seq++
+			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvOp}, nil) // must be ignored
+			seq++
+			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvCSEnter}, nil)
+			seq++
+			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvCSExit}, nil)
+			seq++
+			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvPassageEnd}, nil)
+			seq++
+		}
+	}
+
+	path, desc, err := w.postMortem(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "fixture-stuck") || !strings.Contains(desc, "seed=7") {
+		t.Fatalf("post-mortem description %q lost the run identity", desc)
+	}
+	rec, err := flight.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if rec.Source != flight.SourceSim || !strings.Contains(rec.Note, "watchdog") {
+		t.Fatalf("%s lost provenance: source=%s note=%q", path, rec.Source, rec.Note)
+	}
+	if len(rec.Procs) != 2 {
+		t.Fatalf("%d processes in recording, want 2", len(rec.Procs))
+	}
+	for pid, events := range rec.Procs {
+		if len(events) == 0 {
+			t.Fatalf("p%d has no events", pid)
+		}
+		if len(events) > flightTail {
+			t.Fatalf("p%d has %d events, tail bound is %d", pid, len(events), flightTail)
+		}
+	}
+
+	// begin() for the next run resets the tail.
+	w.begin("next", memory.DSM, 8, 2)
+	w.mu.Lock()
+	if len(w.tail) != 0 {
+		t.Fatalf("begin did not reset the tail (%d events)", len(w.tail))
+	}
+	w.mu.Unlock()
+}

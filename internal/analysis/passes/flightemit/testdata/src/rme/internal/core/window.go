@@ -1,4 +1,4 @@
-// rme:sensitive-instructions 9
+// rme:sensitive-instructions 11
 package core
 
 import (
@@ -85,4 +85,25 @@ func methodValueOK(p memory.Port, tail, pred memory.Addr, fr *flight.Recorder) {
 	temp := p.FAS(tail, 1) // rme:sensitive
 	p.Write(pred, temp)
 	emit(p.PID(), 1, 1)
+}
+
+// abortEmitOK: the back-out records its abort event only after the
+// persisting write has closed the window — the rme.LockCtx shape (run
+// the lock's Abort, then emit).
+func abortEmitOK(p memory.Port, tail, pred, state memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1) // rme:sensitive
+	p.Write(pred, temp)
+	p.Write(state, 3) // persist the aborted state
+	fr.Phase(p.PID(), 1, 1)
+	flight.Note(p.PID(), "abort")
+}
+
+// abortEmitBad: recording the abort before the FAS result is persisted
+// widens the very crash window the back-out protocol is analyzed
+// against.
+func abortEmitBad(p memory.Port, tail, pred, state memory.Addr, fr *flight.Recorder) {
+	temp := p.FAS(tail, 1)        // rme:sensitive
+	flight.Note(p.PID(), "abort") // want `flight-recorder emit between a sensitive FAS and its persisting write`
+	p.Write(pred, temp)
+	p.Write(state, 3)
 }

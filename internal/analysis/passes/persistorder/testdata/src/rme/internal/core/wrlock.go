@@ -79,3 +79,28 @@ func acknowledged(p memory.Port, tail memory.Addr) {
 	// rme:allow(persistorder: fixture exercising the suppression path)
 	_ = p.FAS(tail, 1) // rme:sensitive
 }
+
+// good: the abort back-out shape (DESIGN §15) — the queue-entry FAS is
+// persisted before the abandon dance begins, and the dance itself uses
+// only acknowledged idempotent RMWs re-used from the Exit segment.
+func abortBackOut(p memory.Port, state, tail, pred, node, nxt memory.Addr) {
+	old := p.FAS(tail, memory.FromAddr(node)) // rme:sensitive
+	p.Write(pred, old)
+	// Abort delivered here: persist the aborted state first, then run
+	// the idempotent dance a crash-interrupted Recover can re-run.
+	p.Write(state, 3)
+	p.CAS(tail, memory.FromAddr(node), memory.FromAddr(memory.Nil)) // rme:nonsensitive(outcome ignored; repeating the detach after a crash is a no-op)
+	p.CAS(nxt, memory.FromAddr(memory.Nil), memory.FromAddr(node))  // rme:nonsensitive(wait-free abandon signal; succeeds at most once and re-running it is a no-op)
+	p.Write(state, 0)
+}
+
+// bad: an abort branch that bails out between the queue-entry FAS and
+// its persist — the displaced predecessor is torn exactly in the window
+// the back-out must not widen.
+func abortSkipsPersist(p memory.Port, tail, pred, node memory.Addr, aborted bool) {
+	old := p.FAS(tail, memory.FromAddr(node)) // rme:sensitive // want `sensitive RMW is not persisted on every path`
+	if aborted {
+		return
+	}
+	p.Write(pred, old)
+}

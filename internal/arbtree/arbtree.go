@@ -123,3 +123,49 @@ func (t *Tree) Exit(p memory.Port) {
 		path[i].lock.Exit(p, path[i].port)
 	}
 }
+
+// Abort backs the process out after an unwound Enter. A node acquisition
+// that is in flight (appending or queued) is the tree's non-abortable
+// window: abandoning a queued reference mid-node would break the node
+// lock's strong mutual exclusion, so the acquisition is completed — the
+// wait is bounded by the node's queue, i.e. by one base-lock passage —
+// and then exactly the held prefix is released in reverse. DESIGN §15
+// discusses why this window is acceptable: the tree sits at the bottom of
+// the BA-Lock recursion and is reached only after Ω(m²) recent failures.
+//
+// The walk must not touch any stage past the first one this process does
+// not hold: port-state words above the held prefix belong to whichever
+// sibling currently owns the port (port exclusivity is guaranteed by
+// subtree mutual exclusion, which the aborting process has given up the
+// moment it no longer holds the child). Reading them is safe only while
+// every stage below is held; running Exit against them would replay a
+// sibling's release with a stale sequence number and hand its node to
+// the wrong successor — a blanket t.Exit(p) here is a mutual-exclusion
+// bug, not a shortcut.
+func (t *Tree) Abort(p memory.Port) {
+	path := t.paths[p.PID()]
+	held := 0 // stages [0, held) are ours to release
+	for _, st := range path {
+		ps := p.Read(st.lock.pstate[st.port])
+		if ps == psAppending || ps == psQueued {
+			st.lock.Enter(p, st.port) // complete the in-flight node
+			held++
+			break
+		}
+		if ps == psLeaving {
+			// An exit interrupted by an earlier crash and not yet
+			// repaired by an Enter: the port is still ours; Exit below
+			// completes the release. Nothing above survived that exit
+			// (releases run root first).
+			held++
+			break
+		}
+		if ps != psInCS {
+			break // this stage was never reached, so none deeper was
+		}
+		held++
+	}
+	for i := held - 1; i >= 0; i-- {
+		path[i].lock.Exit(p, path[i].port)
+	}
+}

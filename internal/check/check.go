@@ -106,7 +106,12 @@ func Satisfaction(res *sim.Result) error {
 
 // ConsequenceIntervals computes the consequence interval of every failure
 // in the history (Definition 3.1): from the failure until every request
-// generated before it has been satisfied (or the history ends).
+// generated before it has been satisfied (or the history ends). Delivered
+// aborts are included as failure-like events: a mid-queue back-out hands
+// the filter token to its successor wait-free while the aborter may still
+// be draining out, so — exactly like a crash — an abort can fragment a
+// weakly recoverable filter's queue, and its disturbance window is the
+// same consequence-interval formula.
 func ConsequenceIntervals(res *sim.Result) []Interval {
 	var last int64
 	if n := len(res.Events); n > 0 {
@@ -130,22 +135,30 @@ func ConsequenceIntervals(res *sim.Result) []Interval {
 		}
 		reqs = append(reqs, reqTimes{gen: ev.Seq, sat: s})
 	}
-	out := make([]Interval, 0, len(res.Crashes))
-	for _, c := range res.Crashes {
-		end := c.Seq
+	interval := func(seq int64) Interval {
+		end := seq
 		for _, r := range reqs {
-			if r.gen < c.Seq && r.sat > end {
+			if r.gen < seq && r.sat > end {
 				end = r.sat
 			}
 		}
-		out = append(out, Interval{Start: c.Seq, End: end})
+		return Interval{Start: seq, End: end}
+	}
+	out := make([]Interval, 0, len(res.Crashes)+len(res.Aborts))
+	for _, c := range res.Crashes {
+		out = append(out, interval(c.Seq))
+	}
+	for _, a := range res.Aborts {
+		out = append(out, interval(a.Seq))
 	}
 	return out
 }
 
 // Responsiveness verifies Definition 3.5 (as instantiated by Theorem 4.2):
 // whenever k+1 processes were in their critical sections simultaneously,
-// that moment overlaps the consequence intervals of at least k failures.
+// that moment overlaps the consequence intervals of at least k
+// failure-like events (crashes and delivered aborts — see
+// ConsequenceIntervals for why aborts count).
 func Responsiveness(res *sim.Result) error {
 	ivs := ConsequenceIntervals(res)
 	occ := 0
@@ -191,13 +204,32 @@ func inCSCrash(res *sim.Result, ev sim.Event) bool {
 // locks: after a process crashes inside its CS, no other process enters a
 // CS before the crashed process re-enters, and the re-entry passage is
 // bounded by maxOps instructions.
+//
+// An abortable lock adds one way to discharge the obligation: if an abort
+// is delivered to the crashed process's recovery attempt (EvAbort before
+// any other process's CS entry), the claim is renounced at that instant —
+// the back-out releases the lock (DESIGN §15), so entries by other
+// processes after delivery are ordinary handoffs, not violations, and the
+// re-entry bound no longer applies to that crash. Delivery, not back-out
+// completion, is the discharge point: the release lands mid-back-out, so
+// a successor can legitimately enter before EvAborted closes the passage
+// (and a crash during the back-out suppresses EvAborted entirely while
+// still relinquishing via the persisted aborted state).
 func BCSR(res *sim.Result, maxOps int64) error {
 	for _, c := range res.Crashes {
 		if !c.InCS {
 			continue
 		}
+		discharged := false
 		for _, ev := range res.Events {
-			if ev.Seq <= c.Seq || ev.Kind != sim.EvCSEnter {
+			if ev.Seq <= c.Seq {
+				continue
+			}
+			if ev.Kind == sim.EvAbort && ev.PID == c.PID {
+				discharged = true
+				break
+			}
+			if ev.Kind != sim.EvCSEnter {
 				continue
 			}
 			if ev.PID != c.PID {
@@ -205,6 +237,9 @@ func BCSR(res *sim.Result, maxOps int64) error {
 					ev.PID, ev.Seq, c.PID)
 			}
 			break
+		}
+		if discharged {
+			continue
 		}
 		for _, p := range res.Passages {
 			if p.PID == c.PID && p.StartSeq > c.Seq && !p.Crashed {
@@ -345,7 +380,9 @@ func SegmentBounds(res *sim.Result, maxRecover, maxExit int64) error {
 					ev.PID, s.count, maxExit)
 			}
 			s.inExit = false
-		case sim.EvCrash:
+		case sim.EvCrash, sim.EvAbort:
+			// The back-out after an abort is not part of the Recover
+			// segment's bound, just as a crashed segment never finishes.
 			s.inRecover, s.inExit = false, false
 		}
 	}

@@ -155,6 +155,35 @@ func TestBCSRCheckerCatchesViolation(t *testing.T) {
 	}
 }
 
+func TestBCSRAbortDischargesReentry(t *testing.T) {
+	// The crashed process's recovery attempt receives an abort before
+	// anyone else enters: the back-out renounces the re-entry claim, so
+	// a later entry by another process is a handoff, not a violation.
+	res := &sim.Result{
+		Crashes: []sim.CrashStat{{PID: 0, Seq: 10, InCS: true}},
+		Events: []sim.Event{
+			{Seq: 10, PID: 0, Kind: sim.EvCrash},
+			{Seq: 14, PID: 0, Kind: sim.EvAbort},
+			{Seq: 16, PID: 1, Kind: sim.EvCSEnter}, // release lands mid-back-out
+			{Seq: 18, PID: 0, Kind: sim.EvAborted},
+		},
+	}
+	if err := BCSR(res, 100); err != nil {
+		t.Fatalf("BCSR rejected an abort-discharged re-entry: %v", err)
+	}
+	// An abort delivered to a *different* process discharges nothing.
+	res.Events[1].PID = 2
+	if err := BCSR(res, 100); err == nil {
+		t.Fatal("BCSR accepted an interloper after an unrelated abort")
+	}
+	// An abort delivered only after the interloper's entry is too late.
+	res.Events[1] = sim.Event{Seq: 16, PID: 1, Kind: sim.EvCSEnter}
+	res.Events[2] = sim.Event{Seq: 17, PID: 0, Kind: sim.EvAbort}
+	if err := BCSR(res, 100); err == nil {
+		t.Fatal("BCSR accepted an entry that preceded the abort delivery")
+	}
+}
+
 func TestFCFSChecker(t *testing.T) {
 	res := mustRun(t, sim.Config{N: 5, Model: memory.CC, Requests: 3, Seed: 9, RecordOps: true}, wr)
 	if err := FCFS(res, "wr:fas"); err != nil {

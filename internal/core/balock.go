@@ -174,6 +174,19 @@ func (b *BALock) Exit(p memory.Port) {
 	b.levels[0].Exit(p)
 }
 
+// Abort implements Aborter: the memo is reset first — exactly as in Exit,
+// a crash during the back-out must fall back to the full level walk, since
+// path commitments dissolve as the abort unwinds — then level 1's Abort
+// recursively backs out of every level the process committed to (each
+// level's core is the next level, so the recursion follows the persisted
+// slow-path commitments down to wherever the process actually was).
+func (b *BALock) Abort(p memory.Port) {
+	if b.memo != nil {
+		p.Write(b.memo[p.PID()], 1)
+	}
+	b.levels[0].Abort(p)
+}
+
 // MemoEnabled reports whether the Section 7.3 optimization is active.
 func (b *BALock) MemoEnabled() bool { return b.memo != nil }
 

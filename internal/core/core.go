@@ -57,10 +57,25 @@ const (
 
 // Process states with respect to a WRLock (Section 4.3). Free is the zero
 // value so freshly allocated shared memory is a valid initial state.
+// Aborted is this repository's extension (DESIGN §15): it is persisted
+// before the back-out dance mutates the queue, so a crash during an abort
+// resumes the dance from Recover instead of losing track of the node.
 const (
 	stateFree memory.Word = iota
 	stateInitializing
 	stateTrying
 	stateInCS
 	stateLeaving
+	stateAborted
 )
+
+// Aborter is implemented by locks that support crash-safe back-out: Abort
+// runs after the process's Enter (or Recover) was unwound at an
+// instruction boundary and leaves the process holding nothing, using only
+// steps that the lock's own Recover can finish if the process crashes
+// mid-abort. Abort may wait (e.g. the arbitration-tree base completes an
+// in-flight node acquisition before releasing it) but never blocks behind
+// an entire passage of another process on the abortable components.
+type Aborter interface {
+	Abort(p memory.Port)
+}

@@ -172,6 +172,42 @@ func (l *SALock) Exit(p memory.Port) {
 	l.filter.Exit(p)
 }
 
+// Abort implements Aborter: it backs the process out of however much of
+// the pipeline it holds, in Exit's release order, after its Enter was
+// unwound at an instruction boundary (DESIGN §15). Components never
+// reached release as no-ops: the arbitrator's Exit returns unless this
+// process occupies the side, the splitter is released only when Mine, and
+// the filter's Abort handles every state including "never entered".
+// Every step is crash-idempotent, so a crash mid-abort is repaired by the
+// next passage's normal Recover+Enter (which then re-acquires).
+func (l *SALock) Abort(p memory.Port) {
+	i := p.PID()
+
+	// The arbitrator releases from the side the path commitment selects;
+	// Exit works from ssTrying too (doorway retraction), which is what
+	// makes the final pipeline stage abortable without waiting.
+	l.arb.Exit(p, l.side(p))
+
+	if p.Read(l.typ[i]) == pathSlow {
+		if a, ok := l.core.(Aborter); ok {
+			a.Abort(p)
+		} else {
+			// Non-abortable core: complete the acquisition, then
+			// release it (abort degrades to acquire-then-release).
+			l.core.Recover(p)
+			l.core.Enter(p)
+			l.core.Exit(p)
+		}
+	} else if l.split.Mine(p) {
+		// Unlike Exit, the fast path is released only when actually
+		// held: an abort can fire before the splitter was won.
+		l.split.Release(p)
+	}
+	p.Write(l.typ[i], pathFast)
+
+	l.filter.Abort(p)
+}
+
 // Describe returns a one-line structural description (Figure 2).
 func (l *SALock) Describe() string {
 	return fmt.Sprintf("%s: filter(WR) → splitter → {fast | core} → arbitrator", l.name)

@@ -1,4 +1,8 @@
-// rme:sensitive-instructions 1 — the FAS on tail (Definition 3.3).
+// rme:sensitive-instructions 1 — the FAS on tail (Definition 3.3). The
+// abort back-out (DESIGN §15) adds two RMWs — the tail-detach CAS and the
+// wait-free next marker CAS of the abandon dance — but both are the Exit
+// segment's own idempotent instructions re-used under stateAborted, so the
+// inventory is unchanged.
 package core
 
 import (
@@ -37,6 +41,7 @@ type WRLock struct {
 	src          NodeSource
 	fasLabel     string
 	handoffLabel string
+	abandonLabel string
 }
 
 // NewWRLock allocates a weakly recoverable lock for n processes in sp.
@@ -60,6 +65,7 @@ func NewWRLock(sp memory.Space, n int, name string, src NodeSource) *WRLock {
 		src:          src,
 		fasLabel:     name + ":fas",
 		handoffLabel: name + ":handoff",
+		abandonLabel: name + ":abandon",
 	}
 	for i := 0; i < n; i++ {
 		// Per-process words live in the process's own memory module so
@@ -95,6 +101,11 @@ func (l *WRLock) Recover(p memory.Port) {
 	case stateLeaving:
 		// Finish the interrupted Exit segment.
 		l.Exit(p)
+	case stateAborted:
+		// Finish an interrupted abort back-out (DESIGN §15): every step
+		// of the abandon dance is idempotent, so re-running it from the
+		// top repairs a crash at any boundary inside it.
+		l.finishAbandon(p)
 	}
 	if p.Read(l.state[i]) == stateFree {
 		p.Write(l.mine[i], memory.FromAddr(memory.Nil))
@@ -173,6 +184,99 @@ func (l *WRLock) Exit(p memory.Port) {
 	l.src.Retire(p)
 	p.Write(l.state[i], stateFree)
 }
+
+// Abort implements Aborter: it backs the process out of the queue after
+// its Enter (or Recover) was unwound at an instruction boundary
+// (DESIGN §15). The cases mirror Recover's:
+//
+//   - before the FAS, or with the FAS outcome unpersisted, the node is
+//     relinquished exactly like Recover's crash-relinquish (Exit);
+//   - queued behind a predecessor, the process abandons mid-queue: it
+//     persists stateAborted, detaches the tail if it is last, plants the
+//     wait-free marker, hands the filter token to an already-linked
+//     successor (the queue stays linked for successors), and retires its
+//     node — the predecessor's pending handoff write against it is made
+//     harmless by the reclamation pool's epoch delay (see finishAbandon);
+//   - holding or leaving the lock, a normal Exit releases it.
+//
+// Every step is one the next Recover can finish, so a crash at any point
+// during Abort recovers cleanly. Like an unsafe failure, a mid-queue
+// abandon may briefly leave two filter winners; the framework above the
+// filter (splitter, core, arbitrator) preserves mutual exclusion exactly
+// as it does after crash-induced queue fragmentation.
+func (l *WRLock) Abort(p memory.Port) {
+	i := p.PID()
+	switch p.Read(l.state[i]) {
+	case stateFree, stateInitializing:
+		// Nothing is queued: the node (if any) was never shared, and the
+		// next Enter reuses or reinitializes it idempotently.
+		return
+	case stateTrying:
+		node := memory.AsAddr(p.Read(l.mine[i]))
+		pred := memory.AsAddr(p.Read(l.pred[i]))
+		if pred == node || pred == memory.Nil || !memory.AsBool(p.Read(locked(node))) {
+			// FAS undecided (relinquish like Recover), queue was empty
+			// (the lock is ours), or the handoff already arrived: a
+			// plain Exit backs out without touching anyone else's state.
+			l.Exit(p)
+			return
+		}
+		// Queued behind a live predecessor: abandon mid-queue. Persist
+		// the abort before mutating the queue so a crash inside the
+		// dance resumes it from Recover.
+		p.Write(l.state[i], stateAborted)
+		l.finishAbandon(p)
+	case stateInCS, stateLeaving:
+		l.Exit(p)
+	case stateAborted:
+		l.finishAbandon(p)
+	}
+}
+
+// finishAbandon runs the abandon dance from persisted state (state[i] ==
+// stateAborted): the Exit segment's own idempotent instruction sequence,
+// ending in an ordinary retire. The abandoned predecessor may still owe
+// the node a handoff write (locked ← false), but that stale reference is
+// precisely the situation the paper's reclamation algorithm (Section 7.2,
+// Algorithm 4) is built for: a slot is reused only after a full epoch
+// scan that started after the retire, and that scan waits for every
+// request in flight at its start — including the predecessor's hold,
+// whose Exit lands the handoff before its own retire. Retiring eagerly
+// also keeps the pool live: a deferred retire would leave this process's
+// in-counter ahead of its out-counter, and if it never returned, every
+// other process's epoch scan would eventually wait on it forever.
+func (l *WRLock) finishAbandon(p memory.Port) {
+	i := p.PID()
+	node := memory.AsAddr(p.Read(l.mine[i]))
+	if node == memory.Nil {
+		// A previous run of the dance already retired the node and was
+		// interrupted between clearing mine and the final state write.
+		p.Write(l.state[i], stateFree)
+		return
+	}
+	// Detach from the tail if we are last (idempotent, outcome ignored).
+	p.CAS(l.tail, memory.FromAddr(node), memory.FromAddr(memory.Nil)) // rme:nonsensitive(outcome ignored; repeating the detach after a crash is a no-op)
+	// Plant the wait-free marker so a successor that has not linked yet
+	// learns the head of its fragment is gone.
+	p.CAS(next(node), memory.FromAddr(memory.Nil), memory.FromAddr(node)) // rme:nonsensitive(wait-free abandon signal; succeeds at most once and re-running it is a no-op)
+	if nxt := memory.AsAddr(p.Read(next(node))); nxt != node {
+		// A successor is linked: forward the filter token so the queue
+		// behind us keeps moving without waiting for our predecessor.
+		p.Label(l.abandonLabel)
+		p.Write(locked(nxt), memory.Bool(false))
+	}
+	// Retire is idempotent (a crash anywhere in the dance re-runs it as a
+	// no-op), and the epoch delay above makes the predecessor's pending
+	// handoff write against the retired node harmless.
+	l.src.Retire(p)
+	p.Write(l.mine[i], memory.FromAddr(memory.Nil))
+	p.Write(l.state[i], stateFree)
+}
+
+// AbandonLabel returns the label carried by the abandon dance's early
+// handoff write ("<name>:abandon"); observability layers count it to
+// distinguish abort handoffs from exit handoffs.
+func (l *WRLock) AbandonLabel() string { return l.abandonLabel }
 
 // SubQueue describes one fragment of the request queue, reconstructed from
 // shared memory for diagnostics (Figure 1). Owners lists the processes

@@ -75,8 +75,12 @@ const (
 	// instruction label: the release-side write that passes ownership
 	// directly to a waiting successor.
 	KindHandoff
+	// KindAbort marks an aborted passage: the waiter was cancelled and
+	// completed its crash-safe back-out (the event is emitted when the
+	// back-out finishes, closing the passage).
+	KindAbort
 
-	kindMax = KindHandoff
+	kindMax = KindAbort
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +110,8 @@ func (k Kind) String() string {
 		return "crash"
 	case KindHandoff:
 		return "handoff"
+	case KindAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -366,6 +372,21 @@ func (r *Recorder) PassageEnd(pid int) {
 	rg.closePhase(ts)
 	rg.open = false
 	rg.emit(r.mask, ts, KindPassageEnd, 0)
+}
+
+// Abort records the completion of process pid's back-out: the passage is
+// closed as aborted. The current phase span is abandoned — an aborted
+// span is a fragment, not a latency sample — but, unlike Crash, no
+// recover is pending: the back-out left shared state consistent.
+func (r *Recorder) Abort(pid int) {
+	if !r.enabled.Load() {
+		return
+	}
+	rg := r.ring(pid)
+	ts := r.now(rg)
+	rg.curPhase = 0
+	rg.open = false
+	rg.emit(r.mask, ts, KindAbort, 0)
 }
 
 // Crash records a failure of process pid. The current phase span is

@@ -100,3 +100,11 @@ func (t *Tournament) Exit(p memory.Port) {
 		path[i].arb.Exit(p, path[i].side)
 	}
 }
+
+// Abort backs the process out after an unwound Enter. The full reverse
+// release walk is exactly the right back-out: arbitrators never reached
+// ignore the exit (occupant guard), the stage the process was trying
+// retracts its doorway (yalock's Exit works from ssTrying), and held
+// stages release normally — O(log n) steps, no waiting, and every step is
+// one a post-crash Recover+Enter repairs.
+func (t *Tournament) Abort(p memory.Port) { t.Exit(p) }

@@ -12,7 +12,10 @@
 // property (bounded exit, weak recoverability, strong recoverability,
 // adaptivity). Neither tolerates failures — a crash while holding or
 // waiting deadlocks the queue — so the harness only runs them under
-// failure-free plans.
+// failure-free plans. For the same reason neither implements the
+// Aborter interface (DESIGN §15): a mid-queue back-out needs the
+// persisted state and idempotent exit instructions of the recoverable
+// locks, and the abort adversary skips non-abortable locks.
 package mcs
 
 import (

@@ -260,6 +260,26 @@ func (e ErrCrash) Error() string {
 	return fmt.Sprintf("process %d crashed at %s %d", e.PID, e.Op.Kind, e.Op.Addr)
 }
 
+// AbortFunc is consulted by Pause: returning true makes the waiting process
+// unwind with ErrAbort so the harness can back it out of the acquisition.
+// Unlike FailFunc it is only polled while the process is spinning — the
+// failure-free fast path never pays for it, and the flag it reads lives
+// outside the arena (abort intent is ephemeral private state: a crash
+// legitimately loses it).
+type AbortFunc func(pid int) bool
+
+// ErrAbort is the sentinel panic value used to unwind a native process out
+// of a spin loop when its abort flag is raised. Harnesses recover it and
+// run the lock's crash-safe back-out (core.Aborter).
+type ErrAbort struct {
+	PID int
+}
+
+// Error implements error.
+func (e ErrAbort) Error() string {
+	return fmt.Sprintf("process %d aborted while waiting", e.PID)
+}
+
 // Port returns process pid's port onto the native arena. fail may be nil.
 // The port must be used by one goroutine at a time (the goroutine currently
 // impersonating process pid).
@@ -275,6 +295,7 @@ type NativePort struct {
 	arena   *NativeArena
 	pid     int
 	fail    FailFunc
+	abort   AbortFunc
 	label   string
 	onLabel func(label string)
 
@@ -301,6 +322,13 @@ func (p *NativePort) Alloc(nwords int, home int) Addr { return p.arena.Alloc(nwo
 
 // Label implements Port.
 func (p *NativePort) Label(l string) { p.label = l }
+
+// SetAbortHook installs the abort poll consulted by Pause (nil removes
+// it). The hook runs on the port's goroutine; when it returns true, Pause
+// panics with ErrAbort{PID} instead of backing off, unwinding the spin so
+// the harness can run the lock's back-out protocol. Ports without a hook
+// pay a single nil comparison per Pause.
+func (p *NativePort) SetAbortHook(h AbortFunc) { p.abort = h }
 
 // SetLabelHook installs a callback observing the label of every labeled
 // instruction the port executes, invoked just before the instruction's
@@ -329,6 +357,9 @@ func pauseCanSpin() bool { return runtime.GOMAXPROCS(0) > 1 }
 // behaviour — so the padded/unpadded benchmark compares the complete old
 // and new execution paths.
 func (p *NativePort) Pause() {
+	if p.abort != nil && p.abort(p.pid) {
+		panic(ErrAbort{PID: p.pid})
+	}
 	if !p.arena.padded || !pauseCanSpin() {
 		runtime.Gosched()
 		return

@@ -54,8 +54,11 @@ const (
 // large enough that blocks of adjacent processes share at most their
 // boundary cache lines; the trailing pad removes even that.
 type proc struct {
+	attempts   atomic.Uint64 // passages started (completed + aborted + crashed)
 	passages   atomic.Uint64 // completed (failure-free) passages
 	crashes    atomic.Uint64
+	crashedAtt atomic.Uint64 // attempts that ended in a crash
+	aborted    atomic.Uint64 // attempts that ended in a back-out
 	recoveries atomic.Uint64 // passages started with a prior crash pending
 	fast       atomic.Uint64 // completed passages that stayed at level 1
 	slow       atomic.Uint64 // completed passages that escalated
@@ -64,8 +67,10 @@ type proc struct {
 	rmrs       atomic.Uint64 // RMRs over all passages, including crashed ones
 	ops        atomic.Uint64 // instructions over all passages, including crashed ones
 
-	levels [MaxLevels]atomic.Uint64
-	hist   [RMRBuckets]atomic.Uint64
+	levels    [MaxLevels]atomic.Uint64
+	hist      [RMRBuckets]atomic.Uint64
+	abandoned [MaxLevels]atomic.Uint64  // deepest level of aborted attempts
+	abortHist [RMRBuckets]atomic.Uint64 // RMR cost of aborted attempts (incl. back-out)
 
 	// Private in-flight passage state (owner goroutine only).
 	port     *memory.CountingPort
@@ -194,6 +199,7 @@ func (r *Recorder) PassageStart(pid int) {
 		p.crashed = false
 		p.recoveries.Add(1)
 	}
+	p.attempts.Add(1)
 	p.open = true
 	p.level = 1
 	c := p.port.Counts()
@@ -251,6 +257,36 @@ func (r *Recorder) closeCrashed(p *proc) {
 	c := p.port.Counts()
 	p.rmrs.Add(c.RMRs - p.markRMRs)
 	p.ops.Add(c.Ops - p.markOps)
+	p.crashedAtt.Add(1)
+}
+
+// Abort closes process pid's open passage as aborted: the attempt backed
+// out of the acquisition instead of completing it. Its traffic —
+// including the back-out protocol's own instructions — enters the
+// abort-RMR histogram, and the deepest BA-Lock level the attempt had
+// committed to enters the abandoned-level distribution. The per-passage
+// RMR histogram is untouched: an aborted attempt is not a passage.
+func (r *Recorder) Abort(pid int) {
+	p := r.proc(pid)
+	if !p.open {
+		return
+	}
+	p.open = false
+	c := p.port.Counts()
+	rmrs := c.RMRs - p.markRMRs
+	p.rmrs.Add(rmrs)
+	p.ops.Add(c.Ops - p.markOps)
+	b := rmrs
+	if b >= RMRBuckets-1 {
+		b = RMRBuckets - 1
+	}
+	p.abortHist[b].Add(1)
+	lvl := p.level
+	if lvl > MaxLevels {
+		lvl = MaxLevels
+	}
+	p.abandoned[lvl-1].Add(1)
+	p.aborted.Add(1)
 }
 
 // Snapshot aggregates every process's counters into one tear-free view.
@@ -258,13 +294,17 @@ func (r *Recorder) closeCrashed(p *proc) {
 // in-flight passages are simply not included yet.
 func (r *Recorder) Snapshot() Snapshot {
 	s := Snapshot{
-		LevelHist: make([]uint64, r.levels),
-		RMRHist:   Hist{Counts: make([]uint64, RMRBuckets)},
+		LevelHist:    make([]uint64, r.levels),
+		RMRHist:      Hist{Counts: make([]uint64, RMRBuckets)},
+		AbortRMRHist: Hist{Counts: make([]uint64, RMRBuckets)},
 	}
 	for i := range r.procs {
 		p := &r.procs[i]
+		s.Attempts += p.attempts.Load()
 		s.Passages += p.passages.Load()
 		s.Crashes += p.crashes.Load()
+		s.CrashedAttempts += p.crashedAtt.Load()
+		s.Aborted += p.aborted.Load()
 		s.Recoveries += p.recoveries.Load()
 		s.FastPath += p.fast.Load()
 		s.SlowPath += p.slow.Load()
@@ -280,8 +320,17 @@ func (r *Recorder) Snapshot() Snapshot {
 				s.LevelHist[l] += v
 			}
 		}
+		for l := 0; l < MaxLevels; l++ {
+			if v := p.abandoned[l].Load(); v != 0 {
+				for len(s.AbandonedHist) <= l {
+					s.AbandonedHist = append(s.AbandonedHist, 0)
+				}
+				s.AbandonedHist[l] += v
+			}
+		}
 		for b := 0; b < RMRBuckets; b++ {
 			s.RMRHist.Counts[b] += p.hist[b].Load()
+			s.AbortRMRHist.Counts[b] += p.abortHist[b].Load()
 		}
 	}
 	return s

@@ -10,11 +10,22 @@ import (
 // (sim.Result.MetricsSnapshot) produce this type, so measured and
 // logical numbers are directly comparable.
 type Snapshot struct {
+	// Attempts counts passages started. At quiescence
+	// Attempts == Passages + Aborted + CrashedAttempts (the abort CI gate
+	// asserts exactly this identity); while passages are in flight the
+	// right side lags by the number of open passages.
+	Attempts uint64 `json:"attempts"`
 	// Passages counts successfully completed passages
 	// (Recover→Enter→CS→Exit with no crash).
 	Passages uint64 `json:"passages"`
 	// Crashes counts failures (injected or simulated).
 	Crashes uint64 `json:"crashes"`
+	// CrashedAttempts counts attempts that ended in a crash (one crash can
+	// close at most one open attempt, so CrashedAttempts ≤ Crashes).
+	CrashedAttempts uint64 `json:"crashed_attempts"`
+	// Aborted counts attempts that ended in a back-out: the waiter was
+	// cancelled, abandoned its queue position crash-safely and left.
+	Aborted uint64 `json:"aborted"`
 	// Recoveries counts passages that began with a prior crash pending,
 	// i.e. runs of Recover that had cleanup to consider.
 	Recoveries uint64 `json:"recoveries"`
@@ -37,6 +48,16 @@ type Snapshot struct {
 	LevelHist []uint64 `json:"level_hist"`
 	// RMRHist is the per-passage RMR cost distribution.
 	RMRHist Hist `json:"rmr_hist"`
+	// AbandonedHist[i] counts aborted attempts whose deepest BA-Lock level
+	// was i+1 when the abort was delivered — the abandoned-level
+	// distribution (how deep cancelled waiters had escalated).
+	AbandonedHist []uint64 `json:"abandoned_hist,omitempty"`
+	// AbortRMRHist is the RMR cost distribution of aborted attempts,
+	// including the back-out protocol's own instructions. With no recent
+	// failures the back-out touches only the fast-path components, so this
+	// distribution staying O(1) is the abortable analogue of the paper's
+	// adaptivity claim.
+	AbortRMRHist Hist `json:"abort_rmr_hist"`
 }
 
 // Hist is a histogram of a per-passage quantity. Counts[i] for
@@ -136,8 +157,11 @@ func (s Snapshot) RMRsPerPassage() float64 { return s.RMRHist.Mean() }
 // Merge returns the element-wise sum of s and o, merging histograms.
 func (s Snapshot) Merge(o Snapshot) Snapshot {
 	m := s
+	m.Attempts += o.Attempts
 	m.Passages += o.Passages
 	m.Crashes += o.Crashes
+	m.CrashedAttempts += o.CrashedAttempts
+	m.Aborted += o.Aborted
 	m.Recoveries += o.Recoveries
 	m.FastPath += o.FastPath
 	m.SlowPath += o.SlowPath
@@ -152,8 +176,17 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	for i, v := range o.LevelHist {
 		m.LevelHist[i] += v
 	}
+	m.AbandonedHist = append([]uint64(nil), s.AbandonedHist...)
+	for len(m.AbandonedHist) < len(o.AbandonedHist) {
+		m.AbandonedHist = append(m.AbandonedHist, 0)
+	}
+	for i, v := range o.AbandonedHist {
+		m.AbandonedHist[i] += v
+	}
 	m.RMRHist = Hist{Counts: append([]uint64(nil), s.RMRHist.Counts...)}
 	m.RMRHist.add(o.RMRHist)
+	m.AbortRMRHist = Hist{Counts: append([]uint64(nil), s.AbortRMRHist.Counts...)}
+	m.AbortRMRHist.add(o.AbortRMRHist)
 	return m
 }
 
@@ -163,6 +196,10 @@ func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "passages=%d crashes=%d recoveries=%d fast=%d slow=%d",
 		s.Passages, s.Crashes, s.Recoveries, s.FastPath, s.SlowPath)
+	if s.Aborted > 0 {
+		fmt.Fprintf(&b, " aborted=%d abort_rmr{med=%d p99=%d}",
+			s.Aborted, s.AbortRMRHist.Quantile(0.5), s.AbortRMRHist.Quantile(0.99))
+	}
 	if s.Passages > 0 {
 		fmt.Fprintf(&b, " rmr/passage{med=%d p99=%d mean=%.1f}",
 			s.RMRHist.Quantile(0.5), s.RMRHist.Quantile(0.99), s.RMRHist.Mean())

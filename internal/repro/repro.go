@@ -28,10 +28,11 @@ import (
 
 // Format and Version identify the artifact encoding. Version bumps when
 // the JSON schema or replay semantics change; Decode rejects artifacts from
-// a newer version.
+// a newer version. Version 2 added the abort placements dimension (the
+// Aborts field); version-1 artifacts decode as abort-free runs.
 const (
 	Format  = "rme-repro"
-	Version = 1
+	Version = 2
 )
 
 // Strength values stored in artifacts, selecting the internal/check
@@ -70,6 +71,9 @@ type Artifact struct {
 	Decisions []int32 `json:"decisions"`
 	// Crashes are the deterministic crash placements.
 	Crashes []sim.CrashPoint `json:"crashes"`
+	// Aborts are the deterministic abort placements (version ≥ 2); they
+	// reuse the (pid, op-index) point naming of crashes.
+	Aborts []sim.CrashPoint `json:"aborts,omitempty"`
 
 	// Property is the check.Property name this artifact reproduces.
 	Property string `json:"property"`
@@ -166,6 +170,9 @@ func Record(spec RunSpec, factory sim.Factory) (*Artifact, *sim.Result, error) {
 	for _, c := range res.Crashes {
 		a.Crashes = append(a.Crashes, sim.CrashPoint{PID: c.PID, OpIndex: c.OpIndex})
 	}
+	for _, ab := range res.Aborts {
+		a.Aborts = append(a.Aborts, sim.CrashPoint{PID: ab.PID, OpIndex: ab.OpIndex})
+	}
 	return a, res, nil
 }
 
@@ -206,7 +213,10 @@ func Replay(a *Artifact, factory sim.Factory) (*ReplayResult, error) {
 		Seed:     a.Seed,
 		MaxSteps: a.MaxSteps,
 		Sched:    &sim.ReplaySched{Decisions: a.Decisions},
-		Plan:     &sim.CrashSet{Points: append([]sim.CrashPoint{}, a.Crashes...)},
+		Plan: &sim.FaultSet{
+			Crashes: sim.CrashSet{Points: append([]sim.CrashPoint{}, a.Crashes...)},
+			Aborts:  sim.AbortSet{Points: append([]sim.CrashPoint{}, a.Aborts...)},
+		},
 	}
 	r, err := sim.New(cfg, factory)
 	if err != nil {
@@ -242,20 +252,28 @@ func (a *Artifact) Validate() error {
 			return fmt.Errorf("repro: negative crash op index %d", c.OpIndex)
 		}
 	}
+	for _, ab := range a.Aborts {
+		if ab.PID < 0 || ab.PID >= a.N {
+			return fmt.Errorf("repro: abort point pid %d out of range [0,%d)", ab.PID, a.N)
+		}
+		if ab.OpIndex < 0 {
+			return fmt.Errorf("repro: negative abort op index %d", ab.OpIndex)
+		}
+	}
 	return nil
 }
 
 // Cost is the shrink objective: a weighted size of the artifact's search
 // dimensions. Shrink only accepts strictly cost-decreasing variants.
 func (a *Artifact) Cost() int64 {
-	return int64(len(a.Decisions)) + 64*int64(len(a.Crashes)) +
+	return int64(len(a.Decisions)) + 64*int64(len(a.Crashes)) + 64*int64(len(a.Aborts)) +
 		4096*int64(a.N) + 1024*int64(a.Requests)
 }
 
 // String summarizes the artifact.
 func (a *Artifact) String() string {
-	return fmt.Sprintf("%s/%s n=%d requests=%d seed=%d crashes=%d decisions=%d property=%s",
-		a.Lock, a.Model, a.N, a.Requests, a.Seed, len(a.Crashes), len(a.Decisions), a.Property)
+	return fmt.Sprintf("%s/%s n=%d requests=%d seed=%d crashes=%d aborts=%d decisions=%d property=%s",
+		a.Lock, a.Model, a.N, a.Requests, a.Seed, len(a.Crashes), len(a.Aborts), len(a.Decisions), a.Property)
 }
 
 // Encode writes the artifact as indented JSON.

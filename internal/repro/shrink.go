@@ -3,8 +3,9 @@ package repro
 import "rme/internal/sim"
 
 // Shrink delta-debugs an artifact: it searches for strictly smaller
-// variants (fewer crash points, a shorter schedule-decision prefix, fewer
-// processes, fewer requests) whose replay still violates the same property,
+// variants (fewer crash points, fewer abort points, a shorter
+// schedule-decision prefix, fewer processes, fewer requests) whose replay
+// still violates the same property,
 // and returns the smallest one found. The input artifact is not modified;
 // if nothing smaller reproduces, the result is the input itself.
 //
@@ -26,6 +27,7 @@ func Shrink(a *Artifact, factory sim.Factory) *Artifact {
 		improved := false
 		for _, gen := range []func(*Artifact) []*Artifact{
 			dropCrashCandidates,
+			dropAbortCandidates,
 			requestCandidates,
 			processCandidates,
 			decisionCandidates,
@@ -49,6 +51,7 @@ func clone(a *Artifact) *Artifact {
 	c := *a
 	c.Decisions = append([]int32{}, a.Decisions...)
 	c.Crashes = append([]sim.CrashPoint{}, a.Crashes...)
+	c.Aborts = append([]sim.CrashPoint{}, a.Aborts...)
 	return &c
 }
 
@@ -76,6 +79,29 @@ func dropCrashCandidates(a *Artifact) []*Artifact {
 	return out
 }
 
+// dropAbortCandidates mirrors dropCrashCandidates over the abort points.
+func dropAbortCandidates(a *Artifact) []*Artifact {
+	n := len(a.Aborts)
+	if n == 0 {
+		return nil
+	}
+	var out []*Artifact
+	if n > 1 {
+		half := clone(a)
+		half.Aborts = half.Aborts[:n/2]
+		out = append(out, half)
+		other := clone(a)
+		other.Aborts = other.Aborts[n/2:]
+		out = append(out, other)
+	}
+	for i := 0; i < n; i++ {
+		c := clone(a)
+		c.Aborts = append(c.Aborts[:i], c.Aborts[i+1:]...)
+		out = append(out, c)
+	}
+	return out
+}
+
 func requestCandidates(a *Artifact) []*Artifact {
 	var out []*Artifact
 	for _, r := range []int{1, a.Requests / 2, a.Requests - 1} {
@@ -93,6 +119,11 @@ func processCandidates(a *Artifact) []*Artifact {
 	for _, cp := range a.Crashes {
 		if cp.PID+1 > minN {
 			minN = cp.PID + 1
+		}
+	}
+	for _, ap := range a.Aborts {
+		if ap.PID+1 > minN {
+			minN = ap.PID + 1
 		}
 	}
 	var out []*Artifact

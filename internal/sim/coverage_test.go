@@ -238,6 +238,47 @@ func TestSweepAllPlacementsHoldProperties(t *testing.T) {
 	}
 }
 
+// TestSweepArbtreeAbortPlacements pins the arbitration tree's back-out
+// against its sharpest hazard: the tree's port-state words are shared
+// between sibling processes (port exclusivity comes from subtree mutual
+// exclusion, not ownership), so Abort must release exactly the held
+// leaf-to-root prefix — a blanket reverse walk reads a sibling's psInCS
+// at a stage the aborter never reached and replays the sibling's release
+// with a stale sequence number, handing the node to the wrong successor.
+// n = 3 gives the topology of the original violation (two processes
+// sharing the root port); every abort placement, after-RMW abort, and
+// abort×crash pair must hold the strong battery.
+func TestSweepArbtreeAbortPlacements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("abort sweep is not short")
+	}
+	spec, err := workload.Lookup("arbtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []memory.Model{memory.CC, memory.DSM} {
+		plan, err := sim.PlanSweep(sim.SweepConfig{
+			Config: sim.Config{N: 3, Model: model, Requests: 1, Seed: 1,
+				CSOps: 2, MaxSteps: 2_000_000},
+			Aborts: true,
+		}, spec.New)
+		if err != nil {
+			t.Fatalf("arbtree/%v: %v", model, err)
+		}
+		aborts := 0
+		for i, pl := range plan.Placements {
+			if pl.HasAborts() {
+				aborts++
+			}
+			checkPlacement(t, spec, model, plan, i)
+		}
+		if aborts == 0 {
+			t.Fatalf("arbtree/%v: sweep generated no abort placements", model)
+		}
+		t.Logf("arbtree/%v: %d placements (%d abort) ok", model, len(plan.Placements), aborts)
+	}
+}
+
 // TestSweepPairsEscalation drives the F≥2 paths: pairs of crashes placed
 // immediately after sensitive FAS instructions, the adversary that forces
 // filter escalation past level 1.

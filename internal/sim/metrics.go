@@ -55,14 +55,26 @@ func (r *Result) MetricsSnapshot(levels int) metrics.Snapshot {
 		levels = metrics.MaxLevels
 	}
 	s := metrics.Snapshot{
-		Crashes: uint64(len(r.Crashes)),
-		RMRHist: metrics.Hist{Counts: make([]uint64, metrics.RMRBuckets)},
+		Crashes:      uint64(len(r.Crashes)),
+		RMRHist:      metrics.Hist{Counts: make([]uint64, metrics.RMRBuckets)},
+		AbortRMRHist: metrics.Hist{Counts: make([]uint64, metrics.RMRBuckets)},
 	}
 
 	for _, ps := range r.Passages {
+		s.Attempts++
 		s.Ops += uint64(ps.Ops)
 		s.RMRs += uint64(ps.RMRs)
 		if ps.Crashed {
+			s.CrashedAttempts++
+			continue
+		}
+		if ps.Aborted {
+			s.Aborted++
+			b := ps.RMRs
+			if b >= metrics.RMRBuckets-1 {
+				b = metrics.RMRBuckets - 1
+			}
+			s.AbortRMRHist.Counts[b]++
 			continue
 		}
 		s.Passages++
@@ -123,6 +135,15 @@ func (r *Result) MetricsSnapshot(levels int) metrics.Snapshot {
 			} else {
 				s.SlowPath++
 			}
+		case EvAborted:
+			lvl := level[ev.PID]
+			if lvl < 1 {
+				lvl = 1
+			}
+			for len(s.AbandonedHist) < lvl {
+				s.AbandonedHist = append(s.AbandonedHist, 0)
+			}
+			s.AbandonedHist[lvl-1]++
 		}
 	}
 	return s

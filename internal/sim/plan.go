@@ -39,6 +39,10 @@ type StepCtx struct {
 	// run; ProcCrashes counts only this process's failures.
 	Crashes     int
 	ProcCrashes int
+	// Aborts is the total number of aborts delivered so far in the run;
+	// ProcAborts counts only this process's aborts.
+	Aborts     int
+	ProcAborts int
 	// Rand is the run's seeded random source, shared with the scheduler.
 	Rand *rand.Rand
 }
@@ -54,6 +58,18 @@ type StepCtx struct {
 type FailurePlan interface {
 	Crash(ctx StepCtx) bool
 	Observe(ctx StepCtx)
+}
+
+// AbortPlanner is optionally implemented by failure plans that also
+// deliver aborts. Abort is consulted at instruction rendezvous of
+// processes that are waiting (inside Recover or Enter, not in the CS, not
+// exiting, not already backing out) on a lock implementing Aborter;
+// returning true unwinds the process at this exact boundary — the pending
+// instruction is never executed — after which it runs the lock's back-out
+// protocol and retries the request from NCS. Plans that don't implement
+// the interface never see aborts delivered.
+type AbortPlanner interface {
+	Abort(ctx StepCtx) bool
 }
 
 // NoFailures injects no failures.
@@ -127,6 +143,59 @@ func (c *CrashSet) Crash(ctx StepCtx) bool {
 
 // Observe implements FailurePlan.
 func (*CrashSet) Observe(StepCtx) {}
+
+// AbortSet is the deterministic abort plan mirroring CrashSet: it delivers
+// an abort at exactly the given (PID, OpIndex) points, each once. It
+// injects no crashes; combine with a CrashSet via FaultSet for abort×crash
+// schedules.
+type AbortSet struct {
+	Points []CrashPoint
+
+	fired []bool
+}
+
+// Crash implements FailurePlan.
+func (*AbortSet) Crash(StepCtx) bool { return false }
+
+// Observe implements FailurePlan.
+func (*AbortSet) Observe(StepCtx) {}
+
+// Abort implements AbortPlanner.
+func (a *AbortSet) Abort(ctx StepCtx) bool {
+	if !ctx.IsOp {
+		return false
+	}
+	if a.fired == nil {
+		a.fired = make([]bool, len(a.Points))
+	}
+	for i, pt := range a.Points {
+		if !a.fired[i] && pt.PID == ctx.PID && pt.OpIndex == ctx.OpIndex {
+			a.fired[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// FaultSet is the fully deterministic combined plan used by the sweep
+// planner and repro replay when a schedule mixes crashes and aborts: both
+// dimensions are named by (PID, OpIndex) points. An abort and a crash at
+// the same point resolve in the crash's favor (the runner consults Crash
+// first), matching the model — a machine that fails doesn't get to finish
+// backing out first.
+type FaultSet struct {
+	Crashes CrashSet
+	Aborts  AbortSet
+}
+
+// Crash implements FailurePlan.
+func (f *FaultSet) Crash(ctx StepCtx) bool { return f.Crashes.Crash(ctx) }
+
+// Observe implements FailurePlan.
+func (f *FaultSet) Observe(ctx StepCtx) { f.Crashes.Observe(ctx) }
+
+// Abort implements AbortPlanner.
+func (f *FaultSet) Abort(ctx StepCtx) bool { return f.Aborts.Abort(ctx) }
 
 // CrashOnLabel crashes process PID at the Occurrence-th (from zero)
 // instruction carrying Label. With After set, the crash is deferred to the
@@ -209,6 +278,37 @@ func (p *RandomFailures) Crash(ctx StepCtx) bool {
 // Observe implements FailurePlan.
 func (p *RandomFailures) Observe(StepCtx) {}
 
+// RandomAborts delivers aborts at instruction boundaries with probability
+// Rate per instruction, subject to the optional caps. The runner already
+// restricts delivery to waiting processes (inside Recover/Enter of an
+// abortable lock), so no DuringPassage knob is needed. It injects no
+// crashes; compose with a crash plan via PlanSeq for mixed workloads.
+type RandomAborts struct {
+	Rate          float64
+	MaxTotal      int // 0 means unlimited
+	MaxPerProcess int // 0 means unlimited
+}
+
+// Crash implements FailurePlan.
+func (*RandomAborts) Crash(StepCtx) bool { return false }
+
+// Observe implements FailurePlan.
+func (*RandomAborts) Observe(StepCtx) {}
+
+// Abort implements AbortPlanner.
+func (p *RandomAborts) Abort(ctx StepCtx) bool {
+	if !ctx.IsOp {
+		return false
+	}
+	if p.MaxTotal > 0 && ctx.Aborts >= p.MaxTotal {
+		return false
+	}
+	if p.MaxPerProcess > 0 && ctx.ProcAborts >= p.MaxPerProcess {
+		return false
+	}
+	return ctx.Rand.Float64() < p.Rate
+}
+
 // FailureBudget crashes processes uniformly at random instruction
 // boundaries until exactly Total failures have been injected. It is the
 // plan used for "F failures in the recent past" sweeps: the expected
@@ -286,6 +386,17 @@ func (ps PlanSeq) Observe(ctx StepCtx) {
 	for _, p := range ps {
 		p.Observe(ctx)
 	}
+}
+
+// Abort implements AbortPlanner: a step aborts if any component plan that
+// plans aborts says so.
+func (ps PlanSeq) Abort(ctx StepCtx) bool {
+	for _, p := range ps {
+		if ap, ok := p.(AbortPlanner); ok && ap.Abort(ctx) {
+			return true
+		}
+	}
+	return false
 }
 
 // PlanFunc adapts a function to a stateless FailurePlan.

@@ -29,10 +29,12 @@ const (
 	actRun action = iota + 1
 	actCrash
 	actAbort
+	actKill // run teardown (budget exhausted): unwind the goroutine
 )
 
 type crashSignal struct{}
 type abortSignal struct{}
+type killSignal struct{}
 
 // procState is the scheduler-side view of one process.
 type procState struct {
@@ -40,8 +42,11 @@ type procState struct {
 	attempt     int // passage attempt within the current request
 	inPassage   bool
 	inCS        bool
+	inExit      bool // between CS exit and passage end
+	aborting    bool // back-out protocol in progress
 	opIndex     int64
 	crashes     int
+	aborts      int
 	reqGenSeq   int64
 	reqRMRs     int64
 	reqPassages int
@@ -66,6 +71,7 @@ type Runner struct {
 	procs     []procState
 	occupancy int
 	result    *Result
+	abortable bool // lock implements Aborter
 }
 
 // New prepares a simulation of the lock produced by factory under cfg.
@@ -90,6 +96,7 @@ func New(cfg Config, factory Factory) (*Runner, error) {
 	if r.lock == nil {
 		return nil, fmt.Errorf("sim: factory returned nil lock")
 	}
+	_, r.abortable = r.lock.(Aborter)
 	for i := range r.resume {
 		r.resume[i] = make(chan action, 1)
 		r.scratch[i] = arena.Alloc(1, i)
@@ -143,7 +150,7 @@ func (r *Runner) Run() (*Result, error) {
 				if isParked[pid] {
 					isParked[pid] = false
 					nparked--
-					r.resume[pid] <- actAbort
+					r.resume[pid] <- actKill
 				}
 			}
 			continue
@@ -193,6 +200,8 @@ func (r *Runner) grant(pk park) {
 		InCS:        st.inCS,
 		Crashes:     len(r.result.Crashes),
 		ProcCrashes: st.crashes,
+		Aborts:      len(r.result.Aborts),
+		ProcAborts:  st.aborts,
 		Rand:        r.rng,
 	}
 
@@ -204,6 +213,21 @@ func (r *Runner) grant(pk park) {
 		r.crash(pk, seq)
 		r.resume[pk.pid] <- actCrash
 		return
+	}
+
+	// Aborts are likewise delivered only at instruction boundaries, and
+	// only while the process is waiting: inside Recover or Enter of an
+	// abortable lock, never in the CS (the lock is held — callers release
+	// normally), never during Exit, and never while a back-out is already
+	// running. Delivery unwinds the process exactly like a crash (the
+	// pending instruction is not executed), after which it runs the lock's
+	// Abort protocol instead of restarting cold.
+	if pk.kind == parkOp && r.abortable && st.inPassage && !st.inCS && !st.inExit && !st.aborting {
+		if ap, ok := r.cfg.Plan.(AbortPlanner); ok && ap.Abort(ctx) {
+			r.abortBegin(pk, seq)
+			r.resume[pk.pid] <- actAbort
+			return
+		}
 	}
 
 	switch pk.kind {
@@ -242,9 +266,12 @@ func (r *Runner) lifecycle(pk park, seq int64) {
 		}
 	case EvCSExit:
 		st.inCS = false
+		st.inExit = true
 		r.occupancy--
 	case EvPassageEnd:
-		r.closePassage(pk.pid, seq, false)
+		r.closePassage(pk.pid, seq, false, false)
+	case EvAborted:
+		r.closePassage(pk.pid, seq, false, true)
 	case EvSatisfied:
 		r.result.Requests = append(r.result.Requests, RequestStat{
 			PID:      pk.pid,
@@ -268,7 +295,7 @@ func (r *Runner) crash(pk park, seq int64) {
 		r.occupancy--
 	}
 	if st.inPassage {
-		r.closePassage(pk.pid, seq, true)
+		r.closePassage(pk.pid, seq, true, false)
 	}
 	st.crashes++
 	st.reqCrashes++
@@ -276,7 +303,23 @@ func (r *Runner) crash(pk park, seq int64) {
 	r.arena.InvalidateCache(pk.pid)
 }
 
-func (r *Runner) closePassage(pid int, seq int64, crashed bool) {
+// abortBegin records the delivery of an abort. Like a crash, the pending
+// instruction is never executed (the process unwinds at this boundary);
+// the passage stays open until the back-out completes and EvAborted
+// closes it, so the back-out's own RMRs are charged to the aborted
+// passage.
+func (r *Runner) abortBegin(pk park, seq int64) {
+	st := &r.procs[pk.pid]
+	st.aborting = true
+	st.aborts++
+	r.result.Aborts = append(r.result.Aborts, AbortStat{
+		PID: pk.pid, Seq: seq, OpIndex: st.opIndex,
+		Request: st.request, Attempt: st.attempt, Op: pk.op,
+	})
+	r.record(Event{Seq: seq, PID: pk.pid, Kind: EvAbort, Op: pk.op, Request: st.request, Attempt: st.attempt})
+}
+
+func (r *Runner) closePassage(pid int, seq int64, crashed, aborted bool) {
 	st := &r.procs[pid]
 	rmrs := r.arena.RMRs(pid) - st.rmrMark
 	ps := PassageStat{
@@ -286,6 +329,7 @@ func (r *Runner) closePassage(pid int, seq int64, crashed bool) {
 		RMRs:     rmrs,
 		Ops:      r.arena.Ops(pid) - st.opsMark,
 		Crashed:  crashed,
+		Aborted:  aborted,
 		StartSeq: st.passStart,
 		EndSeq:   seq,
 	}
@@ -293,6 +337,8 @@ func (r *Runner) closePassage(pid int, seq int64, crashed bool) {
 	st.reqRMRs += rmrs
 	st.reqPassages++
 	st.inPassage = false
+	st.inExit = false
+	st.aborting = false
 	st.attempt++
 }
 
@@ -319,6 +365,8 @@ func (r *Runner) rendezvous(pk park) {
 		panic(crashSignal{})
 	case actAbort:
 		panic(abortSignal{})
+	case actKill:
+		panic(killSignal{})
 	}
 }
 
@@ -331,7 +379,7 @@ func (r *Runner) event(pid int, ev EventKind) {
 func (r *Runner) process(pid int) {
 	defer func() {
 		if e := recover(); e != nil {
-			if _, ok := e.(abortSignal); !ok {
+			if _, ok := e.(killSignal); !ok {
 				panic(e)
 			}
 		}
@@ -351,23 +399,30 @@ func (r *Runner) process(pid int) {
 	}
 }
 
-// attempt executes one passage. It reports false if the process crashed,
-// in which case all private state of the passage has been discarded by
-// unwinding.
+// attempt executes one passage. It reports false if the process crashed
+// or was aborted, in which case all private state of the passage has been
+// discarded by unwinding and the process retries the request from NCS.
 func (r *Runner) attempt(pid int, port *memory.ArenaPort) (ok bool) {
 	defer func() {
 		switch e := recover(); e.(type) {
 		case nil:
 		case crashSignal:
+			// The crash may have landed during the back-out protocol; the
+			// lock persists enough (e.g. WRLock's aborted state) for the
+			// next passage's Recover to repair it either way.
 			ok = false
 		default:
 			panic(e)
 		}
 	}()
 	r.event(pid, EvPassageStart)
-	r.lock.Recover(port)
-	r.event(pid, EvEnterStart)
-	r.lock.Enter(port)
+	if !r.acquire(pid, port) {
+		// Aborted while waiting: run the crash-safe back-out, then close
+		// the passage. Delivery is gated on the lock implementing Aborter.
+		r.lock.(Aborter).Abort(port)
+		r.event(pid, EvAborted)
+		return false
+	}
 	r.event(pid, EvCSEnter)
 	for i := 0; i < r.cfg.CSOps; i++ {
 		port.Read(r.scratch[pid])
@@ -375,5 +430,23 @@ func (r *Runner) attempt(pid int, port *memory.ArenaPort) (ok bool) {
 	r.event(pid, EvCSExit)
 	r.lock.Exit(port)
 	r.event(pid, EvPassageEnd)
+	return true
+}
+
+// acquire runs the Recover and Enter segments, reporting false when an
+// abort delivery unwound them.
+func (r *Runner) acquire(pid int, port *memory.ArenaPort) (ok bool) {
+	defer func() {
+		switch e := recover(); e.(type) {
+		case nil:
+		case abortSignal:
+			ok = false
+		default:
+			panic(e)
+		}
+	}()
+	r.lock.Recover(port)
+	r.event(pid, EvEnterStart)
+	r.lock.Enter(port)
 	return true
 }

@@ -43,6 +43,15 @@ type Lock interface {
 // for n processes. It is invoked once per run before any process starts.
 type Factory func(sp memory.Space, n int) Lock
 
+// Aborter is implemented by locks that support abortable passages: Abort
+// backs the process out of however much of the acquisition it holds after
+// its Enter was unwound at an instruction boundary, leaving shared state
+// consistent (DESIGN §15). It is structurally identical to core.Aborter.
+// The simulator delivers plan-driven aborts only to locks implementing it.
+type Aborter interface {
+	Abort(p memory.Port)
+}
+
 // EventKind identifies a lifecycle event in a simulation history.
 type EventKind uint8
 
@@ -69,6 +78,15 @@ const (
 	EvSatisfied
 	// EvCrash marks a failure of the process (Section 2.2).
 	EvCrash
+	// EvAbort marks delivery of an abort to a waiting process: like a
+	// crash, it lands at the rendezvous immediately before the process's
+	// next instruction (which is never executed); unlike a crash, the
+	// process then runs the lock's crash-safe back-out protocol.
+	EvAbort
+	// EvAborted marks completion of the back-out: the passage is closed
+	// as aborted and the process returns to NCS, later retrying the same
+	// request (abort-then-reacquire).
+	EvAborted
 	// EvOp records a single shared-memory instruction.
 	EvOp
 )
@@ -94,6 +112,10 @@ func (k EventKind) String() string {
 		return "satisfied"
 	case EvCrash:
 		return "crash"
+	case EvAbort:
+		return "abort"
+	case EvAborted:
+		return "aborted"
 	case EvOp:
 		return "op"
 	default:

@@ -21,6 +21,10 @@ type PassageStat struct {
 	// Crashed reports whether the passage ended in a failure rather than
 	// completing Exit.
 	Crashed bool
+	// Aborted reports whether the passage ended in a delivered abort: the
+	// process backed out of the acquisition (the RMR count includes the
+	// back-out protocol) and retried the request later.
+	Aborted bool
 	// StartSeq and EndSeq delimit the passage in global logical time.
 	StartSeq, EndSeq int64
 }
@@ -57,6 +61,23 @@ type CrashStat struct {
 	Op memory.OpInfo
 }
 
+// AbortStat records one delivered abort. Like CrashStat, (PID, OpIndex)
+// names the placement deterministically — the abort lands immediately
+// before the process's OpIndex-th instruction, which is never executed —
+// so internal/repro can re-inject it on replay.
+type AbortStat struct {
+	PID int
+	Seq int64
+	// OpIndex is the per-process instruction index the process was parked
+	// at when the abort was delivered.
+	OpIndex int64
+	// Request and Attempt identify the aborted passage.
+	Request int
+	Attempt int
+	// Op is the instruction the process was about to execute.
+	Op memory.OpInfo
+}
+
 // Result is the outcome of a simulation run.
 type Result struct {
 	Config Config
@@ -70,6 +91,7 @@ type Result struct {
 	Passages []PassageStat
 	Requests []RequestStat
 	Crashes  []CrashStat
+	Aborts   []AbortStat
 	// MaxCSOverlap is the maximum number of processes simultaneously in
 	// their critical sections at any point of the run. A strongly
 	// recoverable lock must keep it at 1.
@@ -144,3 +166,6 @@ func summarize(vals []int64) Summary {
 
 // CrashCount returns the number of injected failures.
 func (r *Result) CrashCount() int { return len(r.Crashes) }
+
+// AbortCount returns the number of delivered aborts.
+func (r *Result) AbortCount() int { return len(r.Aborts) }

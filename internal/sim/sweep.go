@@ -45,6 +45,15 @@ type SweepConfig struct {
 	// labeled, sensitive RMWs (labels ending in ":fas") are generated
 	// first; remaining slots go to unlabeled RMW pairs.
 	MaxPairs int
+	// Aborts adds abort placements: a single abort at every (pid,
+	// OpIndex) boundary up to the horizon, at the rendezvous after each
+	// RMW (full stream), plus same-pid abort×crash pairs where the crash
+	// lands a few instructions after the abort — i.e. during the back-out
+	// protocol — exercising crash-during-abort recovery.
+	Aborts bool
+	// MaxAbortPairs caps the abort×crash pair placements (default 64);
+	// pairs derived from sensitive RMWs are generated first.
+	MaxAbortPairs int
 }
 
 // Placement is one entry of a sweep plan: a deterministic set of crash
@@ -55,22 +64,45 @@ type Placement struct {
 	// After[i] is the instruction Points[i] immediately follows, when the
 	// point was generated as an after-RMW placement.
 	After []memory.OpInfo
+	// Aborts are the abort deliveries of the placement, named exactly
+	// like crash points; AbortAfter mirrors After for them.
+	Aborts     []CrashPoint
+	AbortAfter []memory.OpInfo
 }
 
-func (pl Placement) String() string {
-	s := "crash"
-	for i, pt := range pl.Points {
+func annotate(s string, pts []CrashPoint, after []memory.OpInfo) string {
+	for i, pt := range pts {
 		s += fmt.Sprintf(" p%d@%d", pt.PID, pt.OpIndex)
-		if i < len(pl.After) && pl.After[i].Kind != 0 {
-			s += fmt.Sprintf("(after %s", pl.After[i].Kind)
-			if pl.After[i].Label != "" {
-				s += " " + pl.After[i].Label
+		if i < len(after) && after[i].Kind != 0 {
+			s += fmt.Sprintf("(after %s", after[i].Kind)
+			if after[i].Label != "" {
+				s += " " + after[i].Label
 			}
 			s += ")"
 		}
 	}
 	return s
 }
+
+func (pl Placement) String() string {
+	var s string
+	if len(pl.Points) > 0 {
+		s = annotate("crash", pl.Points, pl.After)
+	}
+	if len(pl.Aborts) > 0 {
+		if s != "" {
+			s += " "
+		}
+		s = annotate(s+"abort", pl.Aborts, pl.AbortAfter)
+	}
+	if s == "" {
+		s = "no-fault"
+	}
+	return s
+}
+
+// HasAborts reports whether the placement delivers any aborts.
+func (pl Placement) HasAborts() bool { return len(pl.Aborts) > 0 }
 
 // SweepPlan is the output of PlanSweep: the instrumented pass it was
 // derived from, the per-process instruction streams, and the enumerated
@@ -100,6 +132,9 @@ func PlanSweep(sc SweepConfig, factory Factory) (*SweepPlan, error) {
 	}
 	if sc.MaxPairs == 0 {
 		sc.MaxPairs = 64
+	}
+	if sc.MaxAbortPairs == 0 {
+		sc.MaxAbortPairs = 64
 	}
 
 	probe := sc.Config
@@ -209,6 +244,78 @@ func PlanSweep(sc SweepConfig, factory Factory) (*SweepPlan, error) {
 			}
 		}
 	}
+
+	if sc.Aborts {
+		seenAbort := map[CrashPoint]bool{}
+		addAbort := func(pt CrashPoint, after memory.OpInfo) {
+			if seenAbort[pt] {
+				return
+			}
+			seenAbort[pt] = true
+			sp.Placements = append(sp.Placements, Placement{
+				Aborts:     []CrashPoint{pt},
+				AbortAfter: []memory.OpInfo{after},
+			})
+		}
+
+		// A single abort at every boundary up to the horizon: the process
+		// is unwound immediately before its k-th instruction and backs
+		// out from exactly that much progress.
+		for pid, stream := range streams {
+			limit := int64(len(stream))
+			if sc.Horizon > 0 && sc.Horizon < limit {
+				limit = sc.Horizon
+			}
+			for k := int64(0); k < limit; k++ {
+				addAbort(CrashPoint{PID: pid, OpIndex: k}, memory.OpInfo{})
+			}
+		}
+
+		// Aborts immediately after each RMW (full stream): the back-out
+		// from a just-completed sensitive FAS is the abandon dance's
+		// hardest case.
+		for pid, stream := range streams {
+			for k, op := range stream {
+				if op.Kind != memory.OpFAS && op.Kind != memory.OpCAS {
+					continue
+				}
+				addAbort(CrashPoint{PID: pid, OpIndex: int64(k) + 1}, op)
+			}
+		}
+
+		// Abort×crash pairs: the same process crashes d instructions
+		// after its abort was delivered, so the crash lands inside the
+		// back-out protocol (or, for larger d, in the retry passage).
+		// Sensitive-RMW aborts are paired first.
+		pool := append(append([]afterPt{}, sensitive...), otherRMW...)
+		sort.Slice(pool, func(i, j int) bool {
+			a, b := pool[i], pool[j]
+			as, bs := isSensitiveLabel(a.op.Label), isSensitiveLabel(b.op.Label)
+			if as != bs {
+				return as
+			}
+			if a.pt.PID != b.pt.PID {
+				return a.pt.PID < b.pt.PID
+			}
+			return a.pt.OpIndex < b.pt.OpIndex
+		})
+		pairs := 0
+	abortPairLoop:
+		for _, a := range pool {
+			for _, d := range []int64{1, 3, 8} {
+				sp.Placements = append(sp.Placements, Placement{
+					Aborts:     []CrashPoint{a.pt},
+					AbortAfter: []memory.OpInfo{a.op},
+					Points:     []CrashPoint{{PID: a.pt.PID, OpIndex: a.pt.OpIndex + d}},
+					After:      []memory.OpInfo{{}},
+				})
+				pairs++
+				if pairs >= sc.MaxAbortPairs {
+					break abortPairLoop
+				}
+			}
+		}
+	}
 	return sp, nil
 }
 
@@ -236,7 +343,15 @@ func (sp *SweepPlan) Run(i int, factory Factory) (*Result, error) {
 		return nil, fmt.Errorf("sim: placement index %d out of range [0,%d)", i, len(sp.Placements))
 	}
 	cfg := sp.cfg.Config
-	cfg.Plan = &CrashSet{Points: append([]CrashPoint{}, sp.Placements[i].Points...)}
+	pl := sp.Placements[i]
+	if pl.HasAborts() {
+		cfg.Plan = &FaultSet{
+			Crashes: CrashSet{Points: append([]CrashPoint{}, pl.Points...)},
+			Aborts:  AbortSet{Points: append([]CrashPoint{}, pl.Aborts...)},
+		}
+	} else {
+		cfg.Plan = &CrashSet{Points: append([]CrashPoint{}, pl.Points...)}
+	}
 	r, err := New(cfg, factory)
 	if err != nil {
 		return nil, err

@@ -225,3 +225,10 @@ func (l *TwoProcess) Enter(p memory.Port) { l.a.Enter(p, l.side(p)) }
 
 // Exit implements the Exit segment.
 func (l *TwoProcess) Exit(p memory.Port) { l.a.Exit(p, l.side(p)) }
+
+// Abort backs the process out after an unwound Enter. Exit already does
+// exactly this from every state: its occupant guard makes it a no-op when
+// the doorway was never written, and from ssTrying it retracts the doorway
+// (flag cleared, rival signalled) — the property the framework relies on
+// to make the arbitrator stage abortable without waiting.
+func (l *TwoProcess) Abort(p memory.Port) { l.a.Exit(p, l.side(p)) }

@@ -22,7 +22,10 @@
 package rme
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"rme/internal/arbtree"
 	"rme/internal/core"
@@ -162,13 +165,25 @@ func WithTracing(opts TracingOptions) Option {
 // application-level failure) recovers by calling Lock — or Passage —
 // again with the same identifier.
 type Mutex struct {
-	n     int
-	cfg   config
-	arena *memory.NativeArena
-	lock  core.RecoverableLock
-	ports []memory.Port
-	rec   *metrics.Recorder // nil unless WithMetrics
-	fr    *flight.Recorder  // nil unless WithTracing
+	n      int
+	cfg    config
+	arena  *memory.NativeArena
+	lock   core.RecoverableLock
+	ports  []memory.Port
+	rec    *metrics.Recorder // nil unless WithMetrics
+	fr     *flight.Recorder  // nil unless WithTracing
+	aborts []abortFlag       // per-process cancellation flags (LockCtx)
+}
+
+// abortFlag is one process's cancellation flag, padded so neighbouring
+// processes' flags never share a cache line. The flag lives outside the
+// arena on purpose: it is private, ephemeral state — a crash is supposed
+// to lose it — and polling it from the spin-loop Pause hook costs no
+// shared-memory instruction, so the failure-free passage's RMR count is
+// untouched.
+type abortFlag struct {
+	v atomic.Bool
+	_ [56]byte
 }
 
 // New creates a recoverable mutex for n processes.
@@ -272,8 +287,11 @@ func New(n int, opts ...Option) (*Mutex, error) {
 			fr.Phase(pid, flightPhaseKind(ph), level)
 		})
 	}
+	m.aborts = make([]abortFlag, n)
 	for i := 0; i < n; i++ {
 		np := arena.Port(i, fail)
+		flag := &m.aborts[i].v
+		np.SetAbortHook(func(int) bool { return flag.Load() })
 		if m.fr != nil {
 			pid, fr := i, m.fr
 			np.SetLabelHook(func(l string) { fr.ObserveLabel(pid, l) })
@@ -434,6 +452,152 @@ func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
 	cs()
 	m.Unlock(pid)
 	return true
+}
+
+// LockCtx acquires the mutex as process pid, giving up when ctx is
+// cancelled or its deadline passes. It returns nil on acquisition and
+// ctx.Err() on cancellation, after backing the process out of the lock
+// crash-safely: the abandoned queue state is persisted first, so even a
+// crash in the middle of the back-out is repaired by the next Lock. A
+// cancelled LockCtx leaves the process holding nothing — unlike a crash,
+// no recovery is pending and other processes observe at most one
+// wait-free "abandoned" handoff.
+//
+// Cancellation is polled from the spin-loop pause hook on a per-process
+// Go-level flag, so the failure-free path executes no extra
+// shared-memory instructions (its RMR cost is identical to Lock); a
+// passage that acquires without ever spinning notices cancellation at
+// the post-acquisition check and releases before returning ctx.Err().
+//
+// With failure injection enabled, LockCtx panics with the ErrCrash
+// sentinel exactly like Lock — including when the crash lands during the
+// back-out; use PassageCtx for loop-free handling of both.
+func (m *Mutex) LockCtx(ctx context.Context, pid int) error {
+	p := m.port(pid)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	flag := &m.aborts[pid].v
+
+	// The watcher turns ctx's done channel into the poll flag. It is
+	// stopped — and the flag consumed — before any back-out runs, so the
+	// back-out's own Pause calls cannot re-panic, and before returning,
+	// so a stale flag cannot abort the process's next Lock.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-stop:
+		}
+	}()
+	stopped := false
+	stopWatcher := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(stop)
+		<-done
+		flag.Store(false)
+	}
+	defer stopWatcher()
+
+	if m.rec != nil {
+		m.rec.PassageStart(pid)
+	}
+	if m.fr != nil {
+		m.fr.PassageBegin(pid)
+	}
+	aborted := false
+	func() {
+		defer func() {
+			e := recover()
+			if e == nil {
+				return
+			}
+			if ab, ok := e.(memory.ErrAbort); ok && ab.PID == pid {
+				aborted = true
+				return
+			}
+			panic(e)
+		}()
+		m.lock.Recover(p)
+		m.lock.Enter(p)
+	}()
+	if aborted {
+		stopWatcher()
+		m.lock.(core.Aborter).Abort(p)
+		if m.rec != nil {
+			m.rec.Abort(pid)
+		}
+		if m.fr != nil {
+			m.fr.Abort(pid)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// The flag was set by a previous LockCtx's watcher losing the
+		// race to stopWatcher — impossible for a correctly serialized
+		// process, but fail closed rather than report a phantom cancel.
+		return context.Canceled
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled in the instant between the last spin and holding the
+		// lock: release it and report the cancellation.
+		if m.fr != nil {
+			m.fr.CSEnter(pid)
+		}
+		m.Unlock(pid)
+		return err
+	}
+	if m.fr != nil {
+		m.fr.CSEnter(pid)
+	}
+	return nil
+}
+
+// TryLockFor acquires the mutex as process pid, giving up after d. It
+// reports whether the lock was acquired; on false the process has backed
+// out crash-safely and holds nothing.
+func (m *Mutex) TryLockFor(pid int, d time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return m.LockCtx(ctx, pid) == nil
+}
+
+// PassageCtx runs one abortable passage: LockCtx, the critical section
+// cs, and Unlock. Like Passage it reports ok=false (with a nil error)
+// when an injected failure interrupted the passage — including a crash
+// during the cancellation back-out — in which case the caller should
+// retry. A cancellation is reported as (false, ctx.Err()); the process
+// then holds nothing and no recovery is pending.
+func (m *Mutex) PassageCtx(ctx context.Context, pid int, cs func()) (ok bool, err error) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		if crash, crashed := e.(memory.ErrCrash); crashed && crash.PID == pid {
+			if m.rec != nil {
+				m.rec.Crash(pid)
+			}
+			if m.fr != nil {
+				m.fr.Crash(pid)
+			}
+			ok, err = false, nil
+			return
+		}
+		panic(e)
+	}()
+	if err := m.LockCtx(ctx, pid); err != nil {
+		return false, err
+	}
+	cs()
+	m.Unlock(pid)
+	return true, nil
 }
 
 // Crash simulates a failure of process pid at the current point — for use
