@@ -101,6 +101,124 @@ func TestLockCtxCancelAfterAcquire(t *testing.T) {
 	m.Unlock(0)
 }
 
+// lateCancelCtx is cancelled between LockCtx's entry check and its
+// post-acquisition check: Err() returns nil the first time it is
+// consulted and context.Canceled from then on, while Done() never fires
+// (a nil channel blocks forever), so the acquisition itself never spins
+// out. This deterministically drives the "cancelled in the instant
+// between the last spin and holding the lock" path.
+type lateCancelCtx struct {
+	calls int
+}
+
+func (c *lateCancelCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *lateCancelCtx) Done() <-chan struct{}       { return nil }
+func (c *lateCancelCtx) Value(any) any               { return nil }
+func (c *lateCancelCtx) Err() error {
+	c.calls++
+	if c.calls > 1 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestLockCtxLateCancelAccounting is the regression test for the
+// late-cancellation accounting bug: an attempt that acquires and then
+// observes cancellation used to be recorded as a successful passage,
+// with a phantom CS enter/exit pair in the flight recording. It must
+// close as exactly one aborted attempt with no CS events, and the lock
+// must actually be released.
+func TestLockCtxLateCancelAccounting(t *testing.T) {
+	m, err := New(2, WithMetrics(), WithTracing(TracingOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockCtx(&lateCancelCtx{}, 0); err != context.Canceled {
+		t.Fatalf("LockCtx = %v, want context.Canceled", err)
+	}
+	s, _ := m.MetricsSnapshot()
+	if s.Attempts != 1 || s.Passages != 0 || s.Aborted != 1 {
+		t.Fatalf("attempts=%d passages=%d aborted=%d, want 1/0/1",
+			s.Attempts, s.Passages, s.Aborted)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: attempts=%d passages=%d aborted=%d crashed=%d",
+			s.Attempts, s.Passages, s.Aborted, s.CrashedAttempts)
+	}
+	if got := s.AbortRMRHist.Total(); got != 1 {
+		t.Fatalf("abort RMR histogram holds %d samples, want 1", got)
+	}
+	rec, _ := m.FlightRecording()
+	sawAbort := false
+	for _, events := range rec.Procs {
+		for _, ev := range events {
+			switch ev.Kind.String() {
+			case "cs-enter", "cs-exit":
+				t.Fatalf("phantom %v event in flight recording of a cancelled attempt", ev.Kind)
+			case "abort":
+				sawAbort = true
+			}
+		}
+	}
+	if !sawAbort {
+		t.Fatal("no abort event in the flight recording")
+	}
+	// The back-out really released the lock: another process acquires
+	// immediately, and pid 0's next plain Lock is unaffected.
+	if !m.TryLockFor(1, time.Second) {
+		t.Fatal("lock still held after late-cancel back-out")
+	}
+	m.Unlock(1)
+	m.Lock(0)
+	m.Unlock(0)
+	s, _ = m.MetricsSnapshot()
+	if s.Passages != 2 || s.Aborted != 1 {
+		t.Fatalf("passages=%d aborted=%d after recovery, want 2/1", s.Passages, s.Aborted)
+	}
+}
+
+// TestTryLockForNonPositive is the regression test for the
+// non-positive-deadline accounting bug: TryLockFor(pid, d<=0) used to
+// return false without counting an attempt at all, skewing abort-rate
+// denominators relative to deadlines that expire while queued. Both
+// paths must now record exactly one aborted attempt per call.
+func TestTryLockForNonPositive(t *testing.T) {
+	m, err := New(2, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TryLockFor(0, 0) {
+		t.Fatal("TryLockFor(0) acquired")
+	}
+	if m.TryLockFor(0, -time.Second) {
+		t.Fatal("TryLockFor(-1s) acquired")
+	}
+	s, _ := m.MetricsSnapshot()
+	if s.Attempts != 2 || s.Passages != 0 || s.Aborted != 2 {
+		t.Fatalf("attempts=%d passages=%d aborted=%d, want 2/0/2",
+			s.Attempts, s.Passages, s.Aborted)
+	}
+	if got := s.AbortRMRHist.Total(); got != 2 {
+		t.Fatalf("abort RMR histogram holds %d samples, want 2", got)
+	}
+	// The expired-while-queued path counts identically: one attempt,
+	// one abort per call, so the two paths share a denominator.
+	m.Lock(0)
+	if m.TryLockFor(1, 100*time.Microsecond) {
+		t.Fatal("TryLockFor succeeded against a held lock")
+	}
+	m.Unlock(0)
+	s, _ = m.MetricsSnapshot()
+	if s.Attempts != 4 || s.Passages != 1 || s.Aborted != 3 {
+		t.Fatalf("attempts=%d passages=%d aborted=%d, want 4/1/3",
+			s.Attempts, s.Passages, s.Aborted)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: attempts=%d passages=%d aborted=%d crashed=%d",
+			s.Attempts, s.Passages, s.Aborted, s.CrashedAttempts)
+	}
+}
+
 func TestTryLockFor(t *testing.T) {
 	m, err := New(2, WithMetrics())
 	if err != nil {
@@ -281,29 +399,24 @@ func TestAbortCrashRecoverStress(t *testing.T) {
 		t.Fatalf("attempts=%d != passages=%d + aborted=%d + crashed=%d",
 			s.Attempts, s.Passages, s.Aborted, s.CrashedAttempts)
 	}
-	// Every Passage/PassageCtx call opened exactly one attempt, and each
-	// closed under exactly one outcome — no double-counted passages. The
-	// only call that opens no attempt is one whose microsecond deadline
-	// had already expired at LockCtx's pre-check.
-	if s.Attempts > calls.Load() {
-		t.Fatalf("recorder counted %d attempts, made only %d calls", s.Attempts, calls.Load())
+	// Every Passage/PassageCtx call opens exactly one attempt, and each
+	// closes under exactly one outcome — including pre-expired deadlines
+	// (counted as aborted without touching the lock) and cancellations
+	// observed at the post-acquisition check (aborted, never a passage).
+	if s.Attempts != calls.Load() {
+		t.Fatalf("recorder counted %d attempts, made %d calls", s.Attempts, calls.Load())
 	}
-	preExpired := calls.Load() - s.Attempts
 	if s.CrashedAttempts != crashed.Load() {
 		t.Fatalf("recorder counted %d crashed attempts, callers saw %d", s.CrashedAttempts, crashed.Load())
 	}
-	// A deadline expiry either never opened an attempt (pre-expired),
-	// backed out (recorded aborted), or lost the race to the acquisition,
-	// which completes the passage at the lock level before reporting the
-	// cancellation — so recorder passages exceed caller-visible
-	// completions by exactly the late cancels.
-	if s.Passages < completed.Load() {
+	// Recorder passages are exactly the caller-visible completions, and
+	// every deadline failure — pre-expired, backed out mid-spin, or a
+	// late cancel after winning the acquisition — is one aborted attempt.
+	if s.Passages != completed.Load() {
 		t.Fatalf("recorder counted %d passages, callers completed %d", s.Passages, completed.Load())
 	}
-	late := s.Passages - completed.Load()
-	if s.Aborted+late+preExpired != deadlined.Load() {
-		t.Fatalf("aborted=%d + late-cancel passages=%d + pre-expired=%d != deadline failures %d",
-			s.Aborted, late, preExpired, deadlined.Load())
+	if s.Aborted != deadlined.Load() {
+		t.Fatalf("aborted=%d != deadline failures %d", s.Aborted, deadlined.Load())
 	}
 	if s.Crashes != uint64(inj) {
 		t.Fatalf("recorder counted %d crashes, injected %d", s.Crashes, inj)

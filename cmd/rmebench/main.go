@@ -34,6 +34,9 @@
 //	abort        abortable passages: failure-free and back-out RMRs at
 //	             abort rates 0/1%/10% via the deadline API
 //	             (the BENCH_abort.json source)
+//	map          keyed lock manager (rme.Map): per-passage RMRs under
+//	             hot-key, Zipf and key-churn popularity regimes, plus
+//	             key-lifecycle accounting (the BENCH_map.json source)
 //	all          everything above, in order
 //
 // With -json, tables (and the native report) are emitted as JSON documents
@@ -66,9 +69,12 @@ func main() {
 		mpass    = flag.Int("mpassages", 5000, "metrics: passages per measurement")
 		mfail    = flag.String("mfailures", "1,2,4,8,16,32", "metrics: comma-separated injected failure budgets F")
 		arates   = flag.String("arates", "0,0.01,0.10", "abort: comma-separated deadline-attempt rates")
+		mapkeys  = flag.Int("mapkeys", 64, "map: zipf-mode key-space size")
+		zipfs    = flag.Float64("zipfs", 1.1, "map: zipf skew parameter s (> 1)")
+		churnkey = flag.Int("churnkeys", 2048, "map: distinct keys in the churn mode")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native metrics tracing abort all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native metrics tracing abort map all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,14 +119,15 @@ func main() {
 	}
 	aopts := bench.AbortOpts{Workers: *workers, Passages: *mpass, Rates: rateList}
 	topts := bench.TracingOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
+	kopts := bench.MapOpts{Workers: *workers, Keys: *mapkeys, ZipfS: *zipfs, Passages: *mpass, ChurnKeys: *churnkey}
 
-	if err := run(flag.Arg(0), opts, nopts, mopts, topts, aopts, *seed, *csv, *jsonOut); err != nil {
+	if err := run(flag.Arg(0), opts, nopts, mopts, topts, aopts, kopts, *seed, *csv, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, topts bench.TracingOpts, aopts bench.AbortOpts, seed int64, csv, jsonOut bool) error {
+func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, topts bench.TracingOpts, aopts bench.AbortOpts, kopts bench.MapOpts, seed int64, csv, jsonOut bool) error {
 	show := func(t *bench.Table) error {
 		switch {
 		case jsonOut:
@@ -226,11 +233,25 @@ func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.Metric
 			return nil
 		}
 		return show(rep.Table())
+	case "map":
+		rep, err := bench.MapCost(kopts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			raw, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		return show(rep.Table())
 	case "all":
 		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
 			"adaptivity", "escalation", "batch", "resp", "components", "scale",
-			"ablation", "reclaim", "superpassage", "native", "metrics", "tracing", "abort"} {
-			if err := run(e, opts, nopts, mopts, topts, aopts, seed, csv, jsonOut); err != nil {
+			"ablation", "reclaim", "superpassage", "native", "metrics", "tracing", "abort", "map"} {
+			if err := run(e, opts, nopts, mopts, topts, aopts, kopts, seed, csv, jsonOut); err != nil {
 				return err
 			}
 			fmt.Println()

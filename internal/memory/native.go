@@ -56,6 +56,7 @@ type NativeArena struct {
 type nativeAlloc struct {
 	n      int
 	padded bool
+	region bool  // a sub-arena region: exhaustion blames the region, not the arena
 	limit  int64 // physical capacity in words; 0 = unbounded (sizer)
 
 	// Padded layout: whole cache lines are handed out by nextLine, then
@@ -137,6 +138,9 @@ func (al *nativeAlloc) grabLines(k int64) int64 {
 		line := al.nextLine.Load()
 		end := line + k
 		if al.limit > 0 && end*LineWords > al.limit {
+			if al.region {
+				panic(fmt.Sprintf("memory: sub-arena region exhausted (capacity %d words); carve a larger region", al.limit))
+			}
 			panic(fmt.Sprintf("memory: native arena exhausted (capacity %d words); size it with rme.WithCapacity", al.limit))
 		}
 		if al.nextLine.CompareAndSwap(line, end) {

@@ -1,0 +1,150 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+)
+
+// replayAllocs runs a fixed mixed allocation sequence (striped words,
+// multi-word blocks, HomeNone lines) and returns every address.
+func replayAllocs(sp Space, n int) []Addr {
+	var out []Addr
+	for pid := 0; pid < n; pid++ {
+		out = append(out, sp.Alloc(1, pid))
+		out = append(out, sp.Alloc(3, pid))
+	}
+	out = append(out, sp.Alloc(1, HomeNone))
+	out = append(out, sp.Alloc(LineWords+1, HomeNone))
+	for pid := 0; pid < n; pid++ {
+		out = append(out, sp.Alloc(2, pid))
+	}
+	return out
+}
+
+// TestSubArenaDeterminism pins the translation invariance the keyed lock
+// manager relies on: a sequence replayed against a sub-sizer predicts
+// the exact relative addresses the same sequence produces in any carved
+// region, and every carved region reproduces the same relative layout.
+func TestSubArenaDeterminism(t *testing.T) {
+	const n = 4
+	szr := NewSubSizer(n)
+	want := replayAllocs(szr, n)
+	lines := szr.Lines()
+	if lines < 1 {
+		t.Fatalf("Lines() = %d", lines)
+	}
+
+	arena := NewNativeArena(n, (1+3*lines)*LineWords)
+	subs := []*SubArena{arena.Carve(lines), arena.Carve(lines), arena.Carve(lines)}
+	for si, sub := range subs {
+		lo, hi := sub.Bounds()
+		got := replayAllocs(sub, n)
+		for i, a := range got {
+			if rel := a - lo; rel != want[i] {
+				t.Fatalf("sub %d alloc %d: relative address %d, sizer predicted %d", si, i, rel, want[i])
+			}
+			if a < lo || a >= hi {
+				t.Fatalf("sub %d alloc %d: address %d outside region [%d,%d)", si, i, a, lo, hi)
+			}
+		}
+		if sub.Words() > sub.Lines()*LineWords {
+			t.Fatalf("sub %d: Words() = %d exceeds region %d", si, sub.Words(), sub.Lines()*LineWords)
+		}
+	}
+	// Regions are disjoint.
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			ilo, ihi := subs[i].Bounds()
+			jlo, jhi := subs[j].Bounds()
+			if ilo < jhi && jlo < ihi {
+				t.Fatalf("regions %d [%d,%d) and %d [%d,%d) overlap", i, ilo, ihi, j, jlo, jhi)
+			}
+		}
+	}
+}
+
+// TestSubArenaReset checks the recycle contract: after Reset the region
+// reads all-zero, the allocator restarts, and a replayed construction
+// lands on the same addresses as the first.
+func TestSubArenaReset(t *testing.T) {
+	const n = 2
+	szr := NewSubSizer(n)
+	replayAllocs(szr, n)
+	lines := szr.Lines()
+
+	arena := NewNativeArena(n, (1+lines)*LineWords)
+	sub := arena.Carve(lines)
+	first := replayAllocs(sub, n)
+	p := arena.Port(0, nil)
+	for _, a := range first {
+		p.Write(a, Word(a)+7)
+	}
+	sub.Reset()
+	lo, hi := sub.Bounds()
+	for a := lo; a < hi; a++ {
+		if v := arena.Peek(a); v != 0 {
+			t.Fatalf("word %d = %d after Reset, want 0", a, v)
+		}
+	}
+	second := replayAllocs(sub, n)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("alloc %d: address %d after Reset, was %d", i, second[i], first[i])
+		}
+	}
+}
+
+// TestSubArenaExhausted pins the region-specific exhaustion diagnostic:
+// overflowing a region must blame the region, not suggest resizing the
+// whole arena.
+func TestSubArenaExhausted(t *testing.T) {
+	arena := NewNativeArena(1, 4*LineWords)
+	sub := arena.Carve(1)
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("overflowing a 1-line region did not panic")
+		}
+		msg, ok := e.(string)
+		if !ok || !strings.Contains(msg, "sub-arena region exhausted") {
+			t.Fatalf("panic = %v, want a sub-arena exhaustion message", e)
+		}
+	}()
+	sub.Alloc(LineWords+1, HomeNone)
+}
+
+// TestCarveRequiresPadding: the dense legacy layout has no line
+// discipline, so carving from it must fail loudly.
+func TestCarveRequiresPadding(t *testing.T) {
+	arena := NewNativeArena(1, 64, Unpadded())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Carve on an unpadded arena did not panic")
+		}
+	}()
+	arena.Carve(1)
+}
+
+// TestVersionTableInvalidate: after a region recycle, a port that had
+// the old words cached must pay an RMR on its next read (the CC model's
+// view of fresh memory), which Invalidate forces by bumping versions.
+func TestVersionTableInvalidate(t *testing.T) {
+	arena := NewNativeArena(1, 4*LineWords)
+	sub := arena.Carve(2)
+	a := sub.Alloc(1, 0)
+	vt := NewVersionTable(arena.Capacity())
+	cp := CountPort(arena.Port(0, nil), vt, nil)
+	cp.Read(a)
+	before := cp.Counts()
+	cp.Read(a) // cached: no RMR
+	if got := cp.Counts().RMRs; got != before.RMRs {
+		t.Fatalf("cached re-read charged an RMR (%d -> %d)", before.RMRs, got)
+	}
+	sub.Reset()
+	lo, hi := sub.Bounds()
+	vt.Invalidate(lo, hi)
+	cp.Read(a)
+	if got := cp.Counts().RMRs; got != before.RMRs+1 {
+		t.Fatalf("post-recycle read charged %d RMRs, want exactly 1", got-before.RMRs)
+	}
+}

@@ -132,6 +132,13 @@ func (r *Recorder) Port(inner *memory.NativePort) *memory.CountingPort {
 	return p.port
 }
 
+// InvalidateRange marks the words in [lo, hi) as new memory for every
+// process: the next read of any of them is classified as an RMR
+// regardless of what the process had cached. Keyed lock managers call it
+// when a sub-arena region is recycled — the recycled words are a fresh
+// lock's state, not stale copies of the old one.
+func (r *Recorder) InvalidateRange(lo, hi memory.Addr) { r.vt.Invalidate(lo, hi) }
+
 func (r *Recorder) proc(pid int) *proc {
 	if pid < 0 || pid >= r.n {
 		panic(fmt.Sprintf("metrics: pid %d out of range [0,%d)", pid, r.n))

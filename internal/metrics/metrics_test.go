@@ -304,3 +304,82 @@ func TestRecorderPerProcIsolation(t *testing.T) {
 		t.Fatalf("hist %v, want six 1-RMR passages", s.RMRHist.Counts[:4])
 	}
 }
+
+func TestRecorderAbort(t *testing.T) {
+	g := newRig(t, 2, 4)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Write(g.words[0], 1) // 1 RMR of back-out traffic
+	r.Abort(0)
+	r.Abort(0) // no open passage: ignored
+
+	s := r.Snapshot()
+	if s.Attempts != 1 || s.Passages != 0 || s.Aborted != 1 {
+		t.Fatalf("snapshot %+v, want 1 attempt, 0 passages, 1 aborted", s)
+	}
+	if got := s.AbortRMRHist.Total(); got != 1 {
+		t.Fatalf("abort hist holds %d samples, want 1", got)
+	}
+	if got := s.AbortRMRHist.Quantile(0.5); got != 1 {
+		t.Fatalf("abort median = %d RMRs, want 1", got)
+	}
+	if s.RMRHist.Total() != 0 {
+		t.Fatal("aborted attempt leaked into the passage histogram")
+	}
+	if len(s.AbandonedHist) == 0 || s.AbandonedHist[0] != 1 {
+		t.Fatalf("abandoned hist %v, want the abort at level 1", s.AbandonedHist)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: %+v", s)
+	}
+}
+
+func TestRecorderInvalidateRange(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+
+	r.PassageStart(0)
+	p.Write(g.words[0], 7) // 1 RMR; the word is now cached
+	p.Read(g.words[0])     // cached: free
+	r.InvalidateRange(g.words[0], g.words[0]+1)
+	p.Read(g.words[0]) // recycled region: a fresh miss, 1 RMR
+	r.PassageEnd(0)
+
+	s := r.Snapshot()
+	if s.RMRs != 2 {
+		t.Fatalf("RMRs = %d, want 2 (write miss + post-invalidate read miss)", s.RMRs)
+	}
+}
+
+func TestLabelPredicates(t *testing.T) {
+	if got := SlowLevel("F2:slow"); got != 3 {
+		t.Fatalf("SlowLevel(F2:slow) = %d, want 3", got)
+	}
+	for _, l := range []string{"slow", "Fx:slow", "F0:slow", "mcs:handoff"} {
+		if SlowLevel(l) != 0 {
+			t.Fatalf("SlowLevel(%q) != 0", l)
+		}
+	}
+	if !IsHandoff("mcs:handoff") || IsHandoff("F1:slow") {
+		t.Fatal("IsHandoff misclassifies")
+	}
+	if !IsFilterFAS("wr:fas") || IsFilterFAS("wr:try") {
+		t.Fatal("IsFilterFAS misclassifies")
+	}
+	if !IsSplitterTry("sp:try") || IsSplitterTry("sp:fas") {
+		t.Fatal("IsSplitterTry misclassifies")
+	}
+}
+
+func TestSnapshotRMRsPerPassage(t *testing.T) {
+	g := newRig(t, 1, 2)
+	r, p := g.rec, g.ports[0]
+	r.PassageStart(0)
+	p.Write(g.words[0], 1)
+	r.PassageEnd(0)
+	s := r.Snapshot()
+	if got := s.RMRsPerPassage(); got != 1 {
+		t.Fatalf("RMRsPerPassage = %g, want 1", got)
+	}
+}

@@ -1,0 +1,488 @@
+package rme
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := NewMap(2, WithUnpaddedArena()); err == nil {
+		t.Fatal("expected error for unpadded map")
+	}
+	if _, err := NewMap(2, WithoutReclamation()); err == nil {
+		t.Fatal("expected error for map without reclamation")
+	}
+	if _, err := NewMap(2, WithSlack(64)); err == nil {
+		t.Fatal("expected error for map with slack")
+	}
+	if _, err := NewMap(2, WithCapacity(1024)); err == nil {
+		t.Fatal("expected error for map with capacity")
+	}
+	if _, err := NewMap(2, WithShards(-1)); err == nil {
+		t.Fatal("expected error for negative shards")
+	}
+	if _, err := NewMap(2, WithSegmentSlots(-1)); err == nil {
+		t.Fatal("expected error for negative segment slots")
+	}
+	if _, err := NewMap(2, WithBase(Base(99))); err == nil {
+		t.Fatal("expected error for unknown base")
+	}
+	// Shard counts round up to a power of two.
+	ma, err := NewMap(2, WithShards(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ma.shards); got != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", got)
+	}
+}
+
+func TestMapBasic(t *testing.T) {
+	ma, err := NewMap(4, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for i := 0; i < 10; i++ {
+		for pid := 0; pid < 4; pid++ {
+			key := "key-" + strconv.Itoa(pid%3)
+			if !ma.Passage(pid, key, func() { count[key]++ }) {
+				t.Fatal("passage failed without injection")
+			}
+		}
+	}
+	if count["key-0"]+count["key-1"]+count["key-2"] != 40 {
+		t.Fatalf("counts = %v", count)
+	}
+	if ma.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ma.Len())
+	}
+	if ma.Footprint() <= 0 || ma.SlotWords() <= 0 {
+		t.Fatalf("footprint=%d slotwords=%d", ma.Footprint(), ma.SlotWords())
+	}
+	s, ok := ma.MetricsSnapshot()
+	if !ok || s.Passages != 40 {
+		t.Fatalf("passages=%d ok=%v, want 40/true", s.Passages, ok)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: %+v", s)
+	}
+	st := ma.Stats()
+	if st.Keys != 3 || st.Instantiated != 3 || st.SlotWords != ma.SlotWords() {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMapPerKeyIndependence: holding one key must not block passages on
+// another.
+func TestMapPerKeyIndependence(t *testing.T) {
+	ma, err := NewMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.Lock(0, "held")
+	done := make(chan struct{})
+	go func() {
+		ma.Lock(1, "free")
+		ma.Unlock(1, "free")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("passage on an unrelated key blocked behind a held key")
+	}
+	ma.Unlock(0, "held")
+}
+
+// TestMapMisuse pins the panic diagnostics for contract violations:
+// nested passages and unlocking a key the process does not hold.
+func TestMapMisuse(t *testing.T) {
+	ma, err := NewMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.Lock(0, "a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nested Lock on a second key did not panic")
+			}
+		}()
+		ma.Lock(0, "b")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Unlock of an unheld key did not panic")
+			}
+		}()
+		ma.Unlock(0, "b")
+	}()
+	ma.Unlock(0, "a")
+}
+
+// TestMapRaceStress runs concurrent passages over a small key set with
+// eviction pressure from a background sweeper; the plain per-key
+// counters make the race detector an exact mutual-exclusion check, and
+// the atomic occupancy flags make overlap explicit even without -race.
+func TestMapRaceStress(t *testing.T) {
+	const (
+		n        = 4
+		keys     = 6
+		passages = 250
+	)
+	ma, err := NewMap(n, WithShards(2), WithSegmentSlots(4), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := make([]int, keys)
+	var inCS [keys]atomic.Int32
+	stop := make(chan struct{})
+	var sweeps atomic.Int64
+	var swg sync.WaitGroup
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sweeps.Add(int64(ma.EvictIdle(2)))
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)*271 + 1))
+			for i := 0; i < passages; i++ {
+				k := rng.Intn(keys)
+				key := "key-" + strconv.Itoa(k)
+				if !ma.Passage(pid, key, func() {
+					if !inCS[k].CompareAndSwap(0, 1) {
+						t.Errorf("two processes in key %d's critical section", k)
+					}
+					counters[k]++
+					inCS[k].Store(0)
+				}) {
+					t.Errorf("passage failed without injection")
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	close(stop)
+	swg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != n*passages {
+		t.Fatalf("counted %d passages, want %d", total, n*passages)
+	}
+	s, _ := ma.MetricsSnapshot()
+	if s.Passages != n*passages {
+		t.Fatalf("recorder counted %d passages, want %d", s.Passages, n*passages)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: %+v", s)
+	}
+	t.Logf("sweeper evicted %d idle keys mid-run; stats=%+v", sweeps.Load(), ma.Stats())
+}
+
+// TestMapCrashEvictionPressure: a process crashes while holding a key,
+// other keys churn hard enough to evict everything idle, and the
+// crashed key's state must survive untouched for the recovery.
+func TestMapCrashEvictionPressure(t *testing.T) {
+	ma, err := NewMap(2, WithShards(1), WithSegmentSlots(2), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := 0
+	if ma.Passage(0, "held", func() { held++; Crash(0) }) {
+		t.Fatal("passage completed despite the injected crash")
+	}
+	// pid 0 crashed inside its CS: the key is pinned (engaged claim),
+	// the lock is held in the region. Churn far more keys than the
+	// shard's two slots; every instantiation beyond the first must
+	// recycle an idle region, never the crashed key's.
+	for i := 0; i < 50; i++ {
+		if !ma.Passage(1, "churn-"+strconv.Itoa(i), func() {}) {
+			t.Fatal("churn passage failed")
+		}
+	}
+	st := ma.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under churn pressure: %+v", st)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("footprint grew to %d segments with an evictable key set", st.Segments)
+	}
+	// Recovery: the same process re-enters (BCSR) and completes.
+	if !ma.Passage(0, "held", func() { held++ }) {
+		t.Fatal("recovery passage failed")
+	}
+	if held != 2 {
+		t.Fatalf("critical section ran %d times, want 2 (crash + BCSR re-entry)", held)
+	}
+	s, _ := ma.MetricsSnapshot()
+	if s.Crashes != 1 || s.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1", s.Crashes, s.Recoveries)
+	}
+	// Now idle, the key is evictable like any other.
+	if got := ma.EvictIdle(0); got < 1 {
+		t.Fatalf("EvictIdle evicted %d keys, want at least the recovered one", got)
+	}
+	if ma.Len() != 0 {
+		t.Fatalf("Len = %d after full eviction", ma.Len())
+	}
+}
+
+// TestMapAbandonedClaimPinsKey: a process that crashed mid-acquisition
+// on one key and moved on to another leaves a pending claim that pins
+// the first key until it comes back and recovers.
+func TestMapAbandonedClaimPinsKey(t *testing.T) {
+	var arm atomic.Bool
+	fail := func(pid int) bool { return pid == 0 && arm.CompareAndSwap(true, false) }
+	ma, err := NewMap(2, WithShards(1), WithFailures(fail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	if ma.Passage(0, "a", func() {}) {
+		t.Fatal("passage on a completed despite the injected crash")
+	}
+	// Crashed mid-acquisition on "a"; move on to "b".
+	if !ma.Passage(0, "b", func() {}) {
+		t.Fatal("passage on b failed")
+	}
+	// "b" is idle and evictable; "a" is pinned by the pending claim.
+	ma.EvictIdle(0)
+	if ma.Len() != 1 {
+		t.Fatalf("Len = %d after eviction, want 1 (the pinned key)", ma.Len())
+	}
+	// Coming back to "a" recovers the claim; afterwards it evicts too.
+	if !ma.Passage(0, "a", func() {}) {
+		t.Fatal("recovery passage on a failed")
+	}
+	ma.EvictIdle(0)
+	if ma.Len() != 0 {
+		t.Fatalf("Len = %d after recovery and eviction, want 0", ma.Len())
+	}
+}
+
+// TestMapSweepAdversary2Keys sweeps an injected crash across pid 0's
+// instruction stream on key "a" while pid 1 continuously runs passages
+// on key "b": per-key mutual exclusion and BCSR must be independent —
+// the adversary on one key never corrupts or starves the other.
+func TestMapSweepAdversary2Keys(t *testing.T) {
+	const rounds = 30
+	var step, target, injected atomic.Int64
+	fail := func(pid int) bool {
+		if pid != 0 {
+			return false
+		}
+		tg := target.Load()
+		if tg > 0 && step.Add(1) == tg {
+			injected.Add(1)
+			return true
+		}
+		return false
+	}
+	ma, err := NewMap(2, WithShards(1), WithFailures(fail), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var bCount atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !ma.Passage(1, "b", func() { bCount.Add(1) }) {
+				t.Error("pid 1 crashed; injection targets only pid 0")
+				return
+			}
+		}
+	}()
+	// On a single-core box the sweep below can finish before the
+	// scheduler ever runs pid 1; insist on overlap first.
+	for bCount.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	aCount := 0
+	for k := int64(1); k <= rounds; k++ {
+		step.Store(0)
+		target.Store(k)
+		completed := false
+		for try := 0; try < 1000 && !completed; try++ {
+			completed = ma.Passage(0, "a", func() { aCount++ })
+		}
+		target.Store(0)
+		if !completed {
+			t.Fatalf("crash at op %d wedged key a", k)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if aCount != rounds {
+		t.Fatalf("key a's critical section ran %d times, want %d", aCount, rounds)
+	}
+	if bCount.Load() == 0 {
+		t.Fatal("pid 1 starved on key b during the sweep")
+	}
+	s, _ := ma.MetricsSnapshot()
+	if s.Crashes != uint64(injected.Load()) {
+		t.Fatalf("recorder counted %d crashes, injected %d", s.Crashes, injected.Load())
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: %+v", s)
+	}
+	t.Logf("swept %d crash points (%d fired); b completed %d passages",
+		rounds, injected.Load(), bCount.Load())
+}
+
+// TestMapChurnBoundedFootprint: touching an unbounded stream of
+// distinct keys must not grow the arena footprint — reclaim recycles
+// idle regions instead.
+func TestMapChurnBoundedFootprint(t *testing.T) {
+	const distinct = 400
+	ma, err := NewMap(1, WithShards(1), WithSegmentSlots(4), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after8 int
+	for i := 0; i < distinct; i++ {
+		if !ma.Passage(0, "churn-"+strconv.Itoa(i), func() {}) {
+			t.Fatal("churn passage failed")
+		}
+		if i == 8 {
+			after8 = ma.Footprint()
+		}
+	}
+	st := ma.Stats()
+	if got := ma.Footprint(); got != after8 {
+		t.Fatalf("footprint grew from %d to %d words over %d distinct keys", after8, got, distinct)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("segments = %d, want 1", st.Segments)
+	}
+	if st.Evictions < distinct-8 {
+		t.Fatalf("evictions = %d over %d distinct keys", st.Evictions, distinct)
+	}
+	if got := st.FootprintWords; got >= distinct*ma.SlotWords() {
+		t.Fatalf("footprint %d words not bounded (distinct keys would need %d)", got, distinct*ma.SlotWords())
+	}
+	s, _ := ma.MetricsSnapshot()
+	if s.Passages != distinct {
+		t.Fatalf("passages=%d, want %d", s.Passages, distinct)
+	}
+}
+
+// TestMapShardSnapshots: per-shard snapshots sum to the global one.
+func TestMapShardSnapshots(t *testing.T) {
+	ma, err := NewMap(2, WithShards(4), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := "k" + strconv.Itoa(i%7)
+		if !ma.Passage(i%2, key, func() {}) {
+			t.Fatal("passage failed")
+		}
+	}
+	global, ok := ma.MetricsSnapshot()
+	if !ok {
+		t.Fatal("metrics off")
+	}
+	shards, ok := ma.ShardMetricsSnapshots()
+	if !ok || len(shards) != 4 {
+		t.Fatalf("shard snapshots: ok=%v len=%d", ok, len(shards))
+	}
+	var passages, attempts, rmrs uint64
+	for _, s := range shards {
+		passages += s.Passages
+		attempts += s.Attempts
+		rmrs += s.RMRs
+	}
+	if passages != global.Passages || attempts != global.Attempts || rmrs != global.RMRs {
+		t.Fatalf("shard sums (p=%d a=%d r=%d) != global (p=%d a=%d r=%d)",
+			passages, attempts, rmrs, global.Passages, global.Attempts, global.RMRs)
+	}
+	if global.Passages != 20 {
+		t.Fatalf("passages = %d, want 20", global.Passages)
+	}
+}
+
+// TestMapAbortable covers the context paths on a Map: pre-cancellation,
+// non-positive deadlines, expiry while queued, and late cancellation —
+// each exactly one aborted attempt, mirroring the Mutex accounting.
+func TestMapAbortable(t *testing.T) {
+	ma, err := NewMap(2, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ma.LockCtx(ctx, 0, "k"); err != context.Canceled {
+		t.Fatalf("pre-cancelled LockCtx = %v", err)
+	}
+	if ma.TryLockFor(0, "k", 0) {
+		t.Fatal("TryLockFor(0) acquired")
+	}
+	ma.Lock(0, "k")
+	if ma.TryLockFor(1, "k", 100*time.Microsecond) {
+		t.Fatal("TryLockFor succeeded against a held key")
+	}
+	ma.Unlock(0, "k")
+	if err := ma.LockCtx(&lateCancelCtx{}, 0, "k"); err != context.Canceled {
+		t.Fatalf("late-cancelled LockCtx = %v", err)
+	}
+	// The back-outs left the key free for both processes.
+	for pid := 0; pid < 2; pid++ {
+		if !ma.Passage(pid, "k", func() {}) {
+			t.Fatal("passage failed after back-outs")
+		}
+	}
+	s, _ := ma.MetricsSnapshot()
+	// 3 passages: the Lock/Unlock pair above plus the two loop passages.
+	if s.Passages != 3 || s.Aborted != 4 {
+		t.Fatalf("passages=%d aborted=%d, want 3/4", s.Passages, s.Aborted)
+	}
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: %+v", s)
+	}
+	if got := s.AbortRMRHist.Total(); got != s.Aborted {
+		t.Fatalf("abort histogram holds %d samples, aborted=%d", got, s.Aborted)
+	}
+
+	// PassageCtx on a held key backs out with the deadline error.
+	ma.Lock(0, "k")
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer dcancel()
+	ran := false
+	ok, err := ma.PassageCtx(dctx, 1, "k", func() { ran = true })
+	if ok || err != context.DeadlineExceeded || ran {
+		t.Fatalf("PassageCtx = (%v, %v, ran=%v)", ok, err, ran)
+	}
+	ma.Unlock(0, "k")
+}

@@ -62,6 +62,46 @@ type config struct {
 	tracingOpts TracingOptions
 	fail        FailFunc
 	labelFail   LabeledFailFunc
+	shards      int // Map only
+	segSlots    int // Map only
+}
+
+// lockSpec resolves the configured base, levels and node sourcing into a
+// reusable build recipe (filling in the paper's default depth for the
+// base), shared by New (one lock, one arena) and NewMap (one lock per
+// key, stamped into sub-arenas).
+func (cfg *config) lockSpec(n int) (core.LockSpec, error) {
+	levels := cfg.levels
+	if levels == 0 {
+		switch cfg.base {
+		case BaseArbTree:
+			levels = core.SubLogLevels(n)
+		default:
+			levels = core.DefaultLevels(n)
+		}
+	}
+	if levels < 1 {
+		return core.LockSpec{}, fmt.Errorf("rme: invalid level count %d", levels)
+	}
+	spec := core.LockSpec{Levels: levels}
+	switch cfg.base {
+	case BaseTournament:
+		spec.Base = func(sp memory.Space, n int) core.RecoverableLock {
+			return grlock.NewTournament(sp, n)
+		}
+	case BaseArbTree:
+		spec.Base = func(sp memory.Space, n int) core.RecoverableLock {
+			return arbtree.New(sp, n, 0)
+		}
+	default:
+		return core.LockSpec{}, fmt.Errorf("rme: unknown base lock %d", cfg.base)
+	}
+	if cfg.reclamation {
+		spec.Source = func(sp memory.Space, n, level int) core.NodeSource {
+			return reclaim.NewPool(sp, n)
+		}
+	}
+	return spec, nil
 }
 
 // Option configures New.
@@ -96,6 +136,17 @@ func WithCapacity(words int) Option { return func(c *config) { c.capacity = word
 // cache-line-aware default; it is strictly slower under contention.
 // Snapshot is not supported on unpadded mutexes.
 func WithUnpaddedArena() Option { return func(c *config) { c.unpadded = true } }
+
+// WithShards sets a Map's shard count (default 8, rounded up to a power
+// of two). Keys hash over shards; each shard serializes only its own
+// key-table bookkeeping, never passages. Map only — New rejects it.
+func WithShards(k int) Option { return func(c *config) { c.shards = k } }
+
+// WithSegmentSlots sets how many per-key lock regions one of a Map
+// shard's arena segments holds (default 64). Smaller segments bound the
+// footprint growth granularity; larger ones amortize arena bookkeeping.
+// Map only — New rejects it.
+func WithSegmentSlots(k int) Option { return func(c *config) { c.segSlots = k } }
 
 // FailFunc is a failure-injection hook for tests and demonstrations: it is
 // consulted before every shared-memory instruction of the lock, with the
@@ -195,39 +246,22 @@ func New(n int, opts ...Option) (*Mutex, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.levels == 0 {
-		switch cfg.base {
-		case BaseArbTree:
-			cfg.levels = core.SubLogLevels(n)
-		default:
-			cfg.levels = core.DefaultLevels(n)
-		}
+	spec, err := cfg.lockSpec(n)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.levels < 1 {
-		return nil, fmt.Errorf("rme: invalid level count %d", cfg.levels)
-	}
-	var baseFactory core.BaseFactory
-	switch cfg.base {
-	case BaseTournament:
-		baseFactory = func(sp memory.Space, n int) core.RecoverableLock {
-			return grlock.NewTournament(sp, n)
-		}
-	case BaseArbTree:
-		baseFactory = func(sp memory.Space, n int) core.RecoverableLock {
-			return arbtree.New(sp, n, 0)
-		}
-	default:
-		return nil, fmt.Errorf("rme: unknown base lock %d", cfg.base)
-	}
-	var src core.SourceFactory
-	if cfg.reclamation {
-		src = func(sp memory.Space, n, level int) core.NodeSource {
-			return reclaim.NewPool(sp, n)
-		}
-	}
+	cfg.levels = spec.Levels
 
 	if cfg.capacity < 0 {
 		return nil, fmt.Errorf("rme: negative capacity %d", cfg.capacity)
+	}
+	if cfg.slack < 0 {
+		// A negative slack would shrink the arena below the measured
+		// footprint and corrupt the deterministic layout.
+		return nil, fmt.Errorf("rme: negative slack %d", cfg.slack)
+	}
+	if cfg.shards != 0 || cfg.segSlots != 0 {
+		return nil, fmt.Errorf("rme: WithShards/WithSegmentSlots apply to NewMap, not New")
 	}
 
 	// Measure the exact physical footprint by replaying the allocation
@@ -235,7 +269,7 @@ func New(n int, opts ...Option) (*Mutex, error) {
 	// for real. Construction is deterministic, so the real arena lands
 	// every allocation exactly where the sizer predicted.
 	sizer := memory.NewNativeSizer(n, !cfg.unpadded)
-	core.NewBALock(sizer, n, cfg.levels, baseFactory, src)
+	spec.Build(sizer, n)
 	capacity := sizer.Words() + cfg.slack
 	if !cfg.reclamation {
 		if cfg.slack == 0 {
@@ -255,7 +289,7 @@ func New(n int, opts ...Option) (*Mutex, error) {
 		aopts = append(aopts, memory.Unpadded())
 	}
 	arena := memory.NewNativeArena(n, capacity, aopts...)
-	bal := core.NewBALock(arena, n, cfg.levels, baseFactory, src)
+	bal := spec.Build(arena, n)
 	m := &Mutex{
 		n:     n,
 		cfg:   cfg,
@@ -465,9 +499,12 @@ func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
 //
 // Cancellation is polled from the spin-loop pause hook on a per-process
 // Go-level flag, so the failure-free path executes no extra
-// shared-memory instructions (its RMR cost is identical to Lock); a
-// passage that acquires without ever spinning notices cancellation at
+// shared-memory instructions (its RMR cost is identical to Lock); an
+// attempt that acquires without ever spinning notices cancellation at
 // the post-acquisition check and releases before returning ctx.Err().
+// Every cancelled attempt — pre-cancelled, mid-spin, or at the
+// post-acquisition check — is recorded as exactly one aborted attempt,
+// never as a passage.
 //
 // With failure injection enabled, LockCtx panics with the ErrCrash
 // sentinel exactly like Lock — including when the crash lands during the
@@ -475,35 +512,23 @@ func (m *Mutex) Passage(pid int, cs func()) (ok bool) {
 func (m *Mutex) LockCtx(ctx context.Context, pid int) error {
 	p := m.port(pid)
 	if err := ctx.Err(); err != nil {
+		// Already cancelled: the lock is never touched, but the attempt
+		// still counts — and closes as aborted — so abort-rate
+		// denominators match the cancelled-mid-spin path (a TryLockFor
+		// with a non-positive deadline lands here on every call).
+		if m.rec != nil {
+			m.rec.PassageStart(pid)
+			m.rec.Abort(pid)
+		}
+		if m.fr != nil {
+			m.fr.PassageBegin(pid)
+			m.fr.Abort(pid)
+		}
 		return err
 	}
-	flag := &m.aborts[pid].v
 
-	// The watcher turns ctx's done channel into the poll flag. It is
-	// stopped — and the flag consumed — before any back-out runs, so the
-	// back-out's own Pause calls cannot re-panic, and before returning,
-	// so a stale flag cannot abort the process's next Lock.
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		select {
-		case <-ctx.Done():
-			flag.Store(true)
-		case <-stop:
-		}
-	}()
-	stopped := false
-	stopWatcher := func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		close(stop)
-		<-done
-		flag.Store(false)
-	}
-	defer stopWatcher()
+	w := watchCtx(ctx, &m.aborts[pid].v)
+	defer w.Stop()
 
 	if m.rec != nil {
 		m.rec.PassageStart(pid)
@@ -511,24 +536,8 @@ func (m *Mutex) LockCtx(ctx context.Context, pid int) error {
 	if m.fr != nil {
 		m.fr.PassageBegin(pid)
 	}
-	aborted := false
-	func() {
-		defer func() {
-			e := recover()
-			if e == nil {
-				return
-			}
-			if ab, ok := e.(memory.ErrAbort); ok && ab.PID == pid {
-				aborted = true
-				return
-			}
-			panic(e)
-		}()
-		m.lock.Recover(p)
-		m.lock.Enter(p)
-	}()
-	if aborted {
-		stopWatcher()
+	if enterAborted(m.lock, p, pid) {
+		w.Stop()
 		m.lock.(core.Aborter).Abort(p)
 		if m.rec != nil {
 			m.rec.Abort(pid)
@@ -540,17 +549,25 @@ func (m *Mutex) LockCtx(ctx context.Context, pid int) error {
 			return err
 		}
 		// The flag was set by a previous LockCtx's watcher losing the
-		// race to stopWatcher — impossible for a correctly serialized
-		// process, but fail closed rather than report a phantom cancel.
+		// race to Stop — impossible for a correctly serialized process,
+		// but fail closed rather than report a phantom cancel.
 		return context.Canceled
 	}
 	if err := ctx.Err(); err != nil {
 		// Cancelled in the instant between the last spin and holding the
-		// lock: release it and report the cancellation.
-		if m.fr != nil {
-			m.fr.CSEnter(pid)
+		// lock: the caller never gets the critical section, so release
+		// and account the attempt as aborted — not as a passage, and
+		// with no phantom CS enter/exit in the flight recording. The
+		// watcher is stopped first so Exit's own Pause calls cannot
+		// re-panic off the raised flag.
+		w.Stop()
+		m.lock.Exit(p)
+		if m.rec != nil {
+			m.rec.Abort(pid)
 		}
-		m.Unlock(pid)
+		if m.fr != nil {
+			m.fr.Abort(pid)
+		}
 		return err
 	}
 	if m.fr != nil {
@@ -559,9 +576,70 @@ func (m *Mutex) LockCtx(ctx context.Context, pid int) error {
 	return nil
 }
 
+// ctxWatcher mirrors a context's cancellation into a process's abort
+// flag from a side goroutine, so the spin-loop Pause hook can poll a
+// plain atomic instead of the context.
+type ctxWatcher struct {
+	flag    *atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// watchCtx starts the watcher. The caller must Stop it — and thereby
+// consume the flag — before any back-out runs (so the back-out's own
+// Pause calls cannot re-panic) and before returning (so a stale flag
+// cannot abort the process's next acquisition).
+func watchCtx(ctx context.Context, flag *atomic.Bool) *ctxWatcher {
+	w := &ctxWatcher{flag: flag, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-w.stop:
+		}
+	}()
+	return w
+}
+
+// Stop terminates the watcher, waits it out, and lowers the flag.
+// Idempotent; single-goroutine use only.
+func (w *ctxWatcher) Stop() {
+	if w.stopped {
+		return
+	}
+	w.stopped = true
+	close(w.stop)
+	<-w.done
+	w.flag.Store(false)
+}
+
+// enterAborted runs Recover+Enter, converting the process's own ErrAbort
+// unwind (raised by Pause when the abort flag is up) into a true return.
+// Any other panic — including ErrCrash — propagates.
+func enterAborted(lk core.RecoverableLock, p memory.Port, pid int) (aborted bool) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		if ab, ok := e.(memory.ErrAbort); ok && ab.PID == pid {
+			aborted = true
+			return
+		}
+		panic(e)
+	}()
+	lk.Recover(p)
+	lk.Enter(p)
+	return false
+}
+
 // TryLockFor acquires the mutex as process pid, giving up after d. It
 // reports whether the lock was acquired; on false the process has backed
-// out crash-safely and holds nothing.
+// out crash-safely and holds nothing. A non-positive d never touches the
+// lock but still counts one aborted attempt, keeping abort-rate
+// denominators consistent with deadlines that expire while queued.
 func (m *Mutex) TryLockFor(pid int, d time.Duration) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()

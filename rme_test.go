@@ -19,6 +19,25 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(2, WithBase(Base(99))); err == nil {
 		t.Fatal("expected error for unknown base")
 	}
+	// A negative slack would shrink the arena below the sizer-measured
+	// footprint and build a corrupt under-sized arena; it must be
+	// rejected up front, like a negative capacity.
+	if _, err := New(2, WithSlack(-1)); err == nil {
+		t.Fatal("expected error for negative slack")
+	}
+	if _, err := New(2, WithoutReclamation(), WithSlack(-512)); err == nil {
+		t.Fatal("expected error for negative slack without reclamation")
+	}
+	if _, err := New(2, WithCapacity(-1)); err == nil {
+		t.Fatal("expected error for negative capacity")
+	}
+	// Map-only options are rejected by New rather than silently ignored.
+	if _, err := New(2, WithShards(4)); err == nil {
+		t.Fatal("expected error for WithShards on New")
+	}
+	if _, err := New(2, WithSegmentSlots(16)); err == nil {
+		t.Fatal("expected error for WithSegmentSlots on New")
+	}
 }
 
 func TestSequentialPassages(t *testing.T) {
