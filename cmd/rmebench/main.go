@@ -7,40 +7,20 @@
 //
 //	rmebench [flags] <experiment>
 //
-// Experiments:
+// Run `rmebench` with no arguments for the experiment list: it is derived
+// from the same registry that dispatches them (and pinned by test), so the
+// documentation cannot drift from the implementation. Highlights:
 //
-//	table1       Table 1: RMRs per passage, three failure scenarios, all locks
-//	table2       Table 2: performance-measure classification
-//	figure1      Figure 1: sub-queue fragmentation after unsafe failures
-//	figure2      Figure 2: the semi-adaptive framework, with routing trace
-//	figure3      Figure 3: the recursive framework, with escalation trace
 //	adaptivity   Theorem 5.18: RMRs vs F with √F fit (headline result)
-//	escalation   Theorem 5.17: escalation depth vs failures
-//	batch        Theorem 7.1: batch vs independent failures
-//	resp         Theorem 4.2: WR-Lock responsiveness
-//	components   Theorems 4.7/5.6: O(1) component costs
-//	scale        failure-free RMRs vs n: the complexity curves of Table 1
-//	ablation     the price of each property, from plain MCS up
-//	reclaim      Section 7.2: bounded space via reclamation
-//	superpassage Section 7.3: super-passage cost under repeated self-crashes
-//	native       wall-clock throughput of the sync/atomic backend,
-//	             padded vs unpadded arena (the BENCH_native.json source)
-//	metrics      exact CC-model RMR and level distributions per passage on
-//	             the native backend, swept over workers at F=0 and over
-//	             injected unsafe failures F (the BENCH_metrics.json source)
-//	tracing      flight-recorder overhead A/B: no recorder vs present-but-
-//	             disabled vs recording, median wall clock per passage
-//	             (the BENCH_tracing.json source; CI bounds off at 5%)
-//	abort        abortable passages: failure-free and back-out RMRs at
-//	             abort rates 0/1%/10% via the deadline API
-//	             (the BENCH_abort.json source)
-//	map          keyed lock manager (rme.Map): per-passage RMRs under
-//	             hot-key, Zipf and key-churn popularity regimes, plus
-//	             key-lifecycle accounting (the BENCH_map.json source)
-//	all          everything above, in order
+//	native       wall-clock throughput of the sync/atomic backend
+//	metrics      exact CC-model RMR distributions (BENCH_metrics.json)
+//	des          virtual-time discrete-event traffic: arrival-rate ramp to
+//	             contention collapse, crash storms, Zipf keyspaces,
+//	             stragglers (BENCH_des.json)
+//	all          everything, in registry order
 //
-// With -json, tables (and the native report) are emitted as JSON documents
-// instead of text — the format archived as BENCH_*.json (see
+// With -json, tables (and the native-style reports) are emitted as JSON
+// documents instead of text — the format archived as BENCH_*.json (see
 // EXPERIMENTS.md).
 package main
 
@@ -54,6 +34,186 @@ import (
 	"rme/internal/bench"
 )
 
+// options bundles every experiment's parsed configuration.
+type options struct {
+	opts  bench.Opts
+	nopts bench.NativeOpts
+	mopts bench.MetricsOpts
+	topts bench.TracingOpts
+	aopts bench.AbortOpts
+	kopts bench.MapOpts
+	dopts bench.DESOpts
+	seed  int64
+	csv   bool
+	json  bool
+}
+
+// experiment is one registry entry: the dispatch name, the one-line
+// description shown in usage, and the runner.
+type experiment struct {
+	name string
+	desc string
+	run  func(o options) error
+}
+
+// show renders a table honoring the output mode.
+func show(o options, t *bench.Table) error {
+	switch {
+	case o.json:
+		raw, err := t.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+	case o.csv:
+		fmt.Print(t.CSV())
+	default:
+		fmt.Println(t)
+	}
+	return nil
+}
+
+// report is the common shape of the JSON-archived experiments.
+type report interface {
+	Table() *bench.Table
+	JSON() ([]byte, error)
+}
+
+// showReport renders a BENCH_*.json-style report honoring the output mode.
+func showReport(o options, rep report, err error) error {
+	if err != nil {
+		return err
+	}
+	if o.json {
+		raw, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	return show(o, rep.Table())
+}
+
+// experiments is the single source of truth for the experiment set: the
+// usage text, the dispatch switch and the "all" order all derive from it.
+var experiments = []experiment{
+	{"table1", "Table 1: RMRs per passage, three failure scenarios, all locks", func(o options) error {
+		for _, t := range bench.Table1(o.opts) {
+			if err := show(o, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}},
+	{"table2", "Table 2: performance-measure classification", func(o options) error {
+		return show(o, bench.Table2(o.opts))
+	}},
+	{"figure1", "Figure 1: sub-queue fragmentation after unsafe failures", func(o options) error {
+		fmt.Println(bench.Figure1(o.seed))
+		return nil
+	}},
+	{"figure2", "Figure 2: the semi-adaptive framework, with routing trace", func(o options) error {
+		fmt.Println(bench.Figure2(o.seed))
+		return nil
+	}},
+	{"figure3", "Figure 3: the recursive framework, with escalation trace", func(o options) error {
+		fmt.Println(bench.Figure3(o.opts))
+		return nil
+	}},
+	{"adaptivity", "Theorem 5.18: RMRs vs F with sqrt(F) fit (headline result)", func(o options) error {
+		return show(o, bench.Adaptivity(o.opts))
+	}},
+	{"escalation", "Theorem 5.17: escalation depth vs failures", func(o options) error {
+		return show(o, bench.Escalation(o.opts))
+	}},
+	{"batch", "Theorem 7.1: batch vs independent failures", func(o options) error {
+		return show(o, bench.Batch(o.opts))
+	}},
+	{"resp", "Theorem 4.2: WR-Lock responsiveness", func(o options) error {
+		return show(o, bench.Responsiveness(o.opts))
+	}},
+	{"components", "Theorems 4.7/5.6: O(1) component costs", func(o options) error {
+		return show(o, bench.Components())
+	}},
+	{"scale", "failure-free RMRs vs n: the complexity curves of Table 1", func(o options) error {
+		return show(o, bench.Scale(o.opts))
+	}},
+	{"ablation", "the price of each property, from plain MCS up", func(o options) error {
+		return show(o, bench.Ablation(o.opts))
+	}},
+	{"reclaim", "Section 7.2: bounded space via reclamation", func(o options) error {
+		return show(o, bench.Reclaim(o.opts))
+	}},
+	{"superpassage", "Section 7.3: super-passage cost under repeated self-crashes", func(o options) error {
+		return show(o, bench.SuperPassage(o.opts))
+	}},
+	{"native", "wall-clock throughput of the sync/atomic backend, padded vs unpadded arena (BENCH_native.json)", func(o options) error {
+		rep, err := bench.Native(o.nopts)
+		return showReport(o, rep, err)
+	}},
+	{"metrics", "exact CC-model RMR and level distributions on the native backend, swept over workers and failures F (BENCH_metrics.json)", func(o options) error {
+		rep, err := bench.PassageMetrics(o.mopts)
+		return showReport(o, rep, err)
+	}},
+	{"tracing", "flight-recorder overhead A/B: absent vs disabled vs recording (BENCH_tracing.json; CI bounds off at 5%)", func(o options) error {
+		rep, err := bench.Tracing(o.topts)
+		return showReport(o, rep, err)
+	}},
+	{"abort", "abortable passages: failure-free and back-out RMRs at abort rates 0/1%/10% (BENCH_abort.json)", func(o options) error {
+		rep, err := bench.AbortCost(o.aopts)
+		return showReport(o, rep, err)
+	}},
+	{"map", "keyed lock manager (rme.Map): RMRs under hot-key, Zipf and churn regimes (BENCH_map.json)", func(o options) error {
+		rep, err := bench.MapCost(o.kopts)
+		return showReport(o, rep, err)
+	}},
+	{"des", "virtual-time discrete-event traffic: rate ramp to collapse, crash storms vs uniform, Zipf keyspaces, stragglers (BENCH_des.json)", func(o options) error {
+		rep, err := bench.DESTraffic(o.dopts)
+		return showReport(o, rep, err)
+	}},
+}
+
+// experimentNames lists the registry in order, with "all" appended.
+func experimentNames() []string {
+	names := make([]string, 0, len(experiments)+1)
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return append(names, "all")
+}
+
+// usageText renders the experiment list shown by -h and bad invocations.
+func usageText() string {
+	var b strings.Builder
+	b.WriteString("usage: rmebench [flags] <experiment>\nexperiments:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(&b, "  %-12s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(&b, "  %-12s %s\n", "all", "everything above, in order")
+	b.WriteString("flags:\n")
+	return b.String()
+}
+
+// run dispatches one experiment name (or "all") against the registry.
+func run(name string, o options) error {
+	if name == "all" {
+		for _, e := range experiments {
+			if err := e.run(o); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			return e.run(o)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(experimentNames(), " "))
+}
+
 func main() {
 	var (
 		n        = flag.Int("n", 16, "number of processes")
@@ -62,8 +222,8 @@ func main() {
 		seeds    = flag.String("seeds", "1,2,3", "comma-separated seeds to average over")
 		seed     = flag.Int64("seed", 21, "seed for single-run figures")
 		csv      = flag.Bool("csv", false, "emit tables as CSV (figures stay textual)")
-		jsonOut  = flag.Bool("json", false, "emit tables and the native report as JSON")
-		workers  = flag.Int("workers", 8, "native/metrics: max concurrent workers (swept 1,2,4,...)")
+		jsonOut  = flag.Bool("json", false, "emit tables and reports as JSON")
+		workers  = flag.Int("workers", 8, "native/metrics/des: max concurrent workers")
 		passages = flag.Int("passages", 20000, "native: passages per measurement")
 		reps     = flag.Int("reps", 3, "native: repetitions per measurement (best kept)")
 		mpass    = flag.Int("mpassages", 5000, "metrics: passages per measurement")
@@ -72,9 +232,14 @@ func main() {
 		mapkeys  = flag.Int("mapkeys", 64, "map: zipf-mode key-space size")
 		zipfs    = flag.Float64("zipfs", 1.1, "map: zipf skew parameter s (> 1)")
 		churnkey = flag.Int("churnkeys", 2048, "map: distinct keys in the churn mode")
+		desreq   = flag.Int("desrequests", 60, "des: satisfied requests per process per run")
+		desrates = flag.String("desrates", "", "des: comma-separated arrival-rate ramp (req/s per process; default 2k,10k,50k,200k,1M)")
+		desseed  = flag.Int64("desseed", 1, "des: seed (fixed so BENCH_des.json is reproducible)")
+		deskeys  = flag.Int("deskeys", 16, "des: zipf-regime keyspace size")
+		descrash = flag.Int("descrashes", 24, "des: crash-regime failure budget")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rmebench [flags] <experiment>\nexperiments: table1 table2 figure1 figure2 figure3 adaptivity escalation batch resp components scale ablation reclaim superpassage native metrics tracing abort map all\nflags:\n")
+		fmt.Fprint(os.Stderr, usageText())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -105,9 +270,6 @@ func main() {
 		}
 		failList = append(failList, v)
 	}
-	opts := bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList}
-	nopts := bench.NativeOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
-	mopts := bench.MetricsOpts{MaxWorkers: *workers, Passages: *mpass, Failures: failList}
 	var rateList []float64
 	for _, s := range strings.Split(*arates, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -117,147 +279,33 @@ func main() {
 		}
 		rateList = append(rateList, v)
 	}
-	aopts := bench.AbortOpts{Workers: *workers, Passages: *mpass, Rates: rateList}
-	topts := bench.TracingOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps}
-	kopts := bench.MapOpts{Workers: *workers, Keys: *mapkeys, ZipfS: *zipfs, Passages: *mpass, ChurnKeys: *churnkey}
+	var desRateList []float64
+	if *desrates != "" {
+		for _, s := range strings.Split(*desrates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "rmebench: bad des rate %q\n", s)
+				os.Exit(2)
+			}
+			desRateList = append(desRateList, v)
+		}
+	}
 
-	if err := run(flag.Arg(0), opts, nopts, mopts, topts, aopts, kopts, *seed, *csv, *jsonOut); err != nil {
+	o := options{
+		opts:  bench.Opts{N: *n, Requests: *requests, Failures: *failures, Seeds: seedList},
+		nopts: bench.NativeOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps},
+		mopts: bench.MetricsOpts{MaxWorkers: *workers, Passages: *mpass, Failures: failList},
+		topts: bench.TracingOpts{MaxWorkers: *workers, Passages: *passages, Reps: *reps},
+		aopts: bench.AbortOpts{Workers: *workers, Passages: *mpass, Rates: rateList},
+		kopts: bench.MapOpts{Workers: *workers, Keys: *mapkeys, ZipfS: *zipfs, Passages: *mpass, ChurnKeys: *churnkey},
+		dopts: bench.DESOpts{Workers: *workers, Requests: *desreq, Seed: *desseed,
+			Rates: desRateList, Keys: *deskeys, CrashBudget: *descrash},
+		seed: *seed,
+		csv:  *csv,
+		json: *jsonOut,
+	}
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-func run(exp string, opts bench.Opts, nopts bench.NativeOpts, mopts bench.MetricsOpts, topts bench.TracingOpts, aopts bench.AbortOpts, kopts bench.MapOpts, seed int64, csv, jsonOut bool) error {
-	show := func(t *bench.Table) error {
-		switch {
-		case jsonOut:
-			raw, err := t.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(raw))
-		case csv:
-			fmt.Print(t.CSV())
-		default:
-			fmt.Println(t)
-		}
-		return nil
-	}
-	switch exp {
-	case "table1":
-		for _, t := range bench.Table1(opts) {
-			if err := show(t); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "table2":
-		return show(bench.Table2(opts))
-	case "figure1":
-		fmt.Println(bench.Figure1(seed))
-	case "figure2":
-		fmt.Println(bench.Figure2(seed))
-	case "figure3":
-		fmt.Println(bench.Figure3(opts))
-	case "adaptivity":
-		return show(bench.Adaptivity(opts))
-	case "escalation":
-		return show(bench.Escalation(opts))
-	case "batch":
-		return show(bench.Batch(opts))
-	case "resp":
-		return show(bench.Responsiveness(opts))
-	case "components":
-		return show(bench.Components())
-	case "scale":
-		return show(bench.Scale(opts))
-	case "ablation":
-		return show(bench.Ablation(opts))
-	case "reclaim":
-		return show(bench.Reclaim(opts))
-	case "superpassage":
-		return show(bench.SuperPassage(opts))
-	case "native":
-		rep, err := bench.Native(nopts)
-		if err != nil {
-			return err
-		}
-		if jsonOut {
-			raw, err := rep.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(raw))
-			return nil
-		}
-		return show(rep.Table())
-	case "tracing":
-		rep, err := bench.Tracing(topts)
-		if err != nil {
-			return err
-		}
-		if jsonOut {
-			raw, err := rep.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(raw))
-			return nil
-		}
-		return show(rep.Table())
-	case "metrics":
-		rep, err := bench.PassageMetrics(mopts)
-		if err != nil {
-			return err
-		}
-		if jsonOut {
-			raw, err := rep.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(raw))
-			return nil
-		}
-		return show(rep.Table())
-	case "abort":
-		rep, err := bench.AbortCost(aopts)
-		if err != nil {
-			return err
-		}
-		if jsonOut {
-			raw, err := rep.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(raw))
-			return nil
-		}
-		return show(rep.Table())
-	case "map":
-		rep, err := bench.MapCost(kopts)
-		if err != nil {
-			return err
-		}
-		if jsonOut {
-			raw, err := rep.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(raw))
-			return nil
-		}
-		return show(rep.Table())
-	case "all":
-		for _, e := range []string{"table1", "table2", "figure1", "figure2", "figure3",
-			"adaptivity", "escalation", "batch", "resp", "components", "scale",
-			"ablation", "reclaim", "superpassage", "native", "metrics", "tracing", "abort", "map"} {
-			if err := run(e, opts, nopts, mopts, topts, aopts, kopts, seed, csv, jsonOut); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
-	return nil
 }

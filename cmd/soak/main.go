@@ -14,6 +14,13 @@
 // watchdog writes a flight-recorder post-mortem of the run in progress —
 // the last lifecycle events per process, renderable with cmd/rmetrace —
 // and exits non-zero.
+//
+// With -des, the campaign instead soaks the virtual-time discrete-event
+// simulator (internal/des): pool-backed lock recipes under crash storms,
+// uniform crash schedules and Zipf-keyed bursty traffic, plus a
+// determinism probe per lock. Violations write a flight post-mortem and a
+// des-repro config JSON (deterministic — re-running the config reproduces
+// the violation exactly) and the campaign exits non-zero.
 package main
 
 import (
@@ -243,11 +250,20 @@ func main() {
 	requests := flag.Int("requests", 3, "requests per process")
 	out := flag.String("out", ".", "directory for shrunk repro artifacts")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the whole campaign (0 = off)")
+	desMode := flag.Bool("des", false, "soak the virtual-time discrete-event simulator (crash storms, keyed traffic) instead of the lockstep campaign")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
 		os.Exit(2)
+	}
+	if *desMode {
+		dc := &desCampaign{seeds: *seeds, n: *n, requests: *requests,
+			outDir: *out, stdout: os.Stdout}
+		if _, failures := dc.run(); failures > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	var specs []workload.Spec
 	for _, name := range workload.Names() {

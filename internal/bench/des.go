@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"rme/internal/des"
+)
+
+// The des experiment runs the virtual-time discrete-event simulator over
+// a fixed traffic trajectory: an arrival-rate ramp from an uncontended
+// trickle up to contention collapse, a crash-storm vs uniform-crash
+// comparison, a Zipf-keyed bursty regime and a straggler regime. Unlike
+// the wall-clock experiments the numbers are deterministic — the same
+// seed reproduces the report bit for bit — so BENCH_des.json is checked
+// in and the CI des-gate asserts its invariants (schema, monotone
+// percentiles, and the low-rate anchor matching the native
+// BENCH_metrics.json failure-free medians).
+
+// desLocks maps each native lock of the metrics experiment to the
+// simulator spec built from the same recipe (base lock, level schedule,
+// reclamation pools), so the anchor rows are directly comparable.
+var desLocks = []struct {
+	name string // native lock name, as in BENCH_metrics.json
+	sim  string // workload-registry spec of the same recipe
+}{
+	{name: "ba-log", sim: "ba-pool"},
+	{name: "ba-sublog", sim: "ba-sublog-pool"},
+}
+
+// DESOpts configures the des experiment.
+type DESOpts struct {
+	// Workers is the process count of the contended regimes (default 8).
+	Workers int
+	// Requests is the satisfied-request target per process (default 60).
+	Requests int
+	// Seed drives every run (default 1).
+	Seed int64
+	// Rates is the arrival-rate ramp in requests per second per process
+	// (default 2k, 10k, 50k, 200k, 1M — trickle to collapse).
+	Rates []float64
+	// Keys is the keyspace size of the Zipf regime (default 16).
+	Keys int
+	// CrashBudget is the failure budget of the crash regimes (default 24).
+	CrashBudget int
+}
+
+func (o *DESOpts) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Rates == nil {
+		o.Rates = []float64{2_000, 10_000, 50_000, 200_000, 1_000_000}
+	}
+	if o.Keys <= 0 {
+		o.Keys = 16
+	}
+	if o.CrashBudget <= 0 {
+		o.CrashBudget = 24
+	}
+}
+
+// DESResult is one simulated configuration.
+type DESResult struct {
+	Lock            string  `json:"lock"`     // native lock name ("ba-log")
+	SimLock         string  `json:"sim_lock"` // simulator spec ("ba-pool")
+	Regime          string  `json:"regime"`   // anchor | ramp | crash-uniform | crash-storm | zipf | straggler
+	Workers         int     `json:"workers"`
+	Failures        int     `json:"failures"` // injected budget (0 outside crash regimes)
+	RatePerSec      float64 `json:"rate_per_sec"`
+	Requests        int     `json:"requests_per_proc"`
+	Keys            int     `json:"keys"`
+	Passages        int     `json:"passages"`
+	CrashedPassages int     `json:"crashed_passages"`
+	Crashes         int     `json:"crashes"`
+	VirtualMs       float64 `json:"virtual_ms"`
+	Throughput      float64 `json:"throughput_per_sec"`
+	P50Ns           int64   `json:"p50_ns"`
+	P90Ns           int64   `json:"p90_ns"`
+	P99Ns           int64   `json:"p99_ns"`
+	MeanNs          float64 `json:"mean_ns"`
+	RMRMedian       int64   `json:"rmr_median"`
+	MaxLevel        int     `json:"max_level"`
+	MaxKeyOverlap   int     `json:"max_key_cs_overlap"`
+	TraceHash       string  `json:"trace_hash"`
+}
+
+// DESReport is the BENCH_des.json document.
+type DESReport struct {
+	Schema    string      `json:"schema"` // "rme-bench-des/v1"
+	GoVersion string      `json:"go_version"`
+	Seed      int64       `json:"seed"`
+	Requests  int         `json:"requests_per_proc"`
+	Results   []DESResult `json:"results"`
+}
+
+// desRunner is the measurement seam; tests stub it to exercise the sweep
+// structure without running real simulations.
+var desRunner = des.Run
+
+// DESTraffic runs the full trajectory and assembles the report.
+func DESTraffic(o DESOpts) (*DESReport, error) {
+	o.fill()
+	rep := &DESReport{
+		Schema:    "rme-bench-des/v1",
+		GoVersion: runtime.Version(),
+		Seed:      o.Seed,
+		Requests:  o.Requests,
+	}
+	for _, lk := range desLocks {
+		base := des.Config{
+			Lock:     lk.sim,
+			N:        o.Workers,
+			Requests: o.Requests,
+			Seed:     o.Seed,
+		}
+
+		// Anchor: one process at the lowest ramp rate. Uncontended virtual
+		// traffic must reproduce the native failure-free RMR median
+		// (BENCH_metrics.json workers=1 F=0) — the des-gate enforces ±5%.
+		anchor := base
+		anchor.N = 1
+		anchor.Arrival = des.Arrival{Kind: des.Poisson, Rate: o.Rates[0]}
+		if err := desRow(rep, "anchor", lk.name, anchor); err != nil {
+			return nil, err
+		}
+
+		// Ramp: arrival rate swept to contention collapse.
+		for _, rate := range o.Rates {
+			cfg := base
+			cfg.Arrival = des.Arrival{Kind: des.Poisson, Rate: rate}
+			if err := desRow(rep, "ramp", lk.name, cfg); err != nil {
+				return nil, err
+			}
+		}
+
+		// Crash regimes at a mid-ramp rate: the same budget spread
+		// uniformly vs concentrated into correlated storms.
+		midRate := o.Rates[len(o.Rates)/2]
+		for _, regime := range []struct {
+			name string
+			kind des.CrashKind
+		}{
+			{"crash-uniform", des.Uniform},
+			{"crash-storm", des.Storm},
+		} {
+			cfg := base
+			cfg.Arrival = des.Arrival{Kind: des.Poisson, Rate: midRate}
+			cfg.Crashes = des.Crashes{Kind: regime.kind, Budget: o.CrashBudget,
+				MeanGapNs: 100_000, StormGapNs: 400_000}
+			if err := desRow(rep, regime.name, lk.name, cfg); err != nil {
+				return nil, err
+			}
+		}
+
+		// Zipf-keyed bursty traffic over an rme.Map-shaped keyspace.
+		keyed := base
+		keyed.Keys = o.Keys
+		keyed.Arrival = des.Arrival{Kind: des.Bursty, Rate: o.Rates[len(o.Rates)-1]}
+		if err := desRow(rep, "zipf", lk.name, keyed); err != nil {
+			return nil, err
+		}
+
+		// One straggler running 8x slow through mid-ramp traffic.
+		strag := base
+		strag.Arrival = des.Arrival{Kind: des.Poisson, Rate: midRate}
+		strag.Stragglers = des.Stragglers{Count: 1, Factor: 8}
+		if err := desRow(rep, "straggler", lk.name, strag); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// desRow runs one configuration and appends its row.
+func desRow(rep *DESReport, regime, lock string, cfg des.Config) error {
+	res, err := desRunner(cfg)
+	if err != nil {
+		return fmt.Errorf("bench: des %s %s: %w", lock, regime, err)
+	}
+	if res.MaxKeyCSOverlap > 1 {
+		return fmt.Errorf("bench: des %s %s: per-key CS overlap %d", lock, regime, res.MaxKeyCSOverlap)
+	}
+	rep.Results = append(rep.Results, DESResult{
+		Lock:            lock,
+		SimLock:         cfg.Lock,
+		Regime:          regime,
+		Workers:         cfg.N,
+		Failures:        cfg.Crashes.Budget,
+		RatePerSec:      cfg.Arrival.Rate,
+		Requests:        cfg.Requests,
+		Keys:            cfg.Keys,
+		Passages:        res.Passages,
+		CrashedPassages: res.CrashedPassages,
+		Crashes:         res.Crashes,
+		VirtualMs:       float64(res.VirtualNs) / 1e6,
+		Throughput:      res.ThroughputPerSec,
+		P50Ns:           res.Passage.P50Ns,
+		P90Ns:           res.Passage.P90Ns,
+		P99Ns:           res.Passage.P99Ns,
+		MeanNs:          res.Passage.MeanNs,
+		RMRMedian:       res.RMRMedian,
+		MaxLevel:        res.MaxLevel,
+		MaxKeyOverlap:   res.MaxKeyCSOverlap,
+		TraceHash:       fmt.Sprintf("%016x", res.TraceHash),
+	})
+	return nil
+}
+
+// Table renders the report for the text mode.
+func (r *DESReport) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("DES traffic trajectory (virtual time, seed=%d, deterministic)", r.Seed),
+		Columns: []string{"lock", "regime", "n", "rate/s", "thr/s", "p50 ns", "p90 ns", "p99 ns", "rmr med", "crashes", "max lvl"},
+		Notes: []string{
+			"virtual-time discrete-event simulation: numbers are deterministic, not wall-clock",
+			"anchor rows (n=1, low rate) must match BENCH_metrics.json F=0 medians within ±5%",
+			"expect: p50 flat along the low ramp, then a knee into contention collapse",
+		},
+	}
+	for _, res := range r.Results {
+		t.Add(res.Lock, res.Regime, res.Workers, res.RatePerSec,
+			fmt.Sprintf("%.0f", res.Throughput), res.P50Ns, res.P90Ns, res.P99Ns,
+			res.RMRMedian, res.Crashes, res.MaxLevel)
+	}
+	return t
+}
+
+// JSON serializes the report (the BENCH_des.json format).
+func (r *DESReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,233 @@
+package des
+
+import (
+	"sort"
+
+	"rme/internal/sim"
+)
+
+// LatencySummary condenses a latency distribution in virtual nanoseconds.
+type LatencySummary struct {
+	Count  int
+	MeanNs float64
+	P50Ns  int64
+	P90Ns  int64
+	P99Ns  int64
+	MaxNs  int64
+}
+
+// KeyStats aggregates the traffic one key of a keyed run received.
+type KeyStats struct {
+	Key      int
+	Passages int
+	MeanNs   float64
+}
+
+// TraceEntry is one lifecycle event of the virtual-time trace (recorded
+// only with Config.RecordTrace; the rolling TraceHash always covers the
+// full trace including every instruction).
+type TraceEntry struct {
+	AtNs int64
+	PID  int
+	Kind sim.EventKind
+}
+
+// Result is the outcome of one virtual-time run.
+type Result struct {
+	// Sim is the underlying lockstep result; the usual property checks
+	// (check.Strong, check.Weak) apply to it unchanged.
+	Sim *sim.Result
+	// VirtualNs is the virtual time of the last grant.
+	VirtualNs int64
+	// Passages counts completed (failure-free or post-crash) passages;
+	// CrashedPassages counts passages cut short by a failure.
+	Passages        int
+	CrashedPassages int
+	// Crashes is the number of failures actually delivered.
+	Crashes int
+	// ThroughputPerSec is completed passages per virtual second.
+	ThroughputPerSec float64
+	// Passage and Request summarize passage latency (passage-start to
+	// passage-end) and request latency (request to satisfied, spanning
+	// crash retries).
+	Passage LatencySummary
+	Request LatencySummary
+	// RMRMedian is the median RMR count over failure-free passages — the
+	// quantity the paper bounds and BENCH_metrics.json anchors.
+	RMRMedian int64
+	// LevelHist[i] counts passages that committed at BA level i+1;
+	// LevelNs[i] is the virtual time those passages spent in flight
+	// (per-level occupancy).
+	LevelHist []int64
+	LevelNs   []int64
+	// MaxLevel is the deepest BA level any passage committed to.
+	MaxLevel int
+	// MaxKeyCSOverlap is the maximum number of processes simultaneously
+	// inside the critical section of any single key. Mutual exclusion —
+	// per key on keyed runs, globally otherwise — demands it stays 1.
+	MaxKeyCSOverlap int
+	// PerKey aggregates keyed runs (nil for single-lock runs), ordered by
+	// key rank — rank 0 is the Zipf-hottest key.
+	PerKey []KeyStats
+	// TraceHash is an FNV-1a digest of the full event trace (every
+	// lifecycle event and every instruction, with its virtual timestamp);
+	// two runs of the same Config produce the same hash.
+	TraceHash uint64
+	// Trace holds the lifecycle trace when Config.RecordTrace is set.
+	Trace []TraceEntry
+}
+
+// collector accumulates samples during the run and folds the trace hash.
+type collector struct {
+	passNs          []int64
+	reqNs           []int64
+	levelHist       []int64
+	levelNs         []int64
+	crashedPassages int
+	keyCount        []int
+	keySumNs        []int64
+	hash            uint64
+	trace           []TraceEntry
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (c *collector) init(cfg Config) {
+	c.hash = fnvOffset
+	if cfg.Keys > 1 {
+		c.keyCount = make([]int, cfg.Keys)
+		c.keySumNs = make([]int64, cfg.Keys)
+	}
+}
+
+func (c *collector) fold(b byte) {
+	c.hash = (c.hash ^ uint64(b)) * fnvPrime
+}
+
+func (c *collector) fold64(v uint64) {
+	for i := 0; i < 8; i++ {
+		c.fold(byte(v >> (8 * i)))
+	}
+}
+
+// hashOp folds one executed instruction into the trace hash.
+func (c *collector) hashOp(pid int, opIndex int64, kind byte, addr uint32, at int64) {
+	c.fold(kind)
+	c.fold64(uint64(pid))
+	c.fold64(uint64(opIndex))
+	c.fold64(uint64(addr))
+	c.fold64(uint64(at))
+}
+
+// event folds one lifecycle event into the trace hash and optionally
+// records it.
+func (c *collector) event(kind sim.EventKind, pid int, at int64, record bool) {
+	c.fold(byte(kind))
+	c.fold64(uint64(pid))
+	c.fold64(uint64(at))
+	if record {
+		c.trace = append(c.trace, TraceEntry{AtNs: at, PID: pid, Kind: kind})
+	}
+}
+
+// passage records one completed passage.
+func (c *collector) passage(durNs int64, level, key int) {
+	c.passNs = append(c.passNs, durNs)
+	for len(c.levelHist) < level {
+		c.levelHist = append(c.levelHist, 0)
+		c.levelNs = append(c.levelNs, 0)
+	}
+	if level >= 1 {
+		c.levelHist[level-1]++
+		c.levelNs[level-1] += durNs
+	}
+	if c.keyCount != nil {
+		c.keyCount[key]++
+		c.keySumNs[key] += durNs
+	}
+}
+
+// request records one satisfied request.
+func (c *collector) request(durNs int64) {
+	c.reqNs = append(c.reqNs, durNs)
+}
+
+// summarize computes nearest-rank percentiles over a sample set.
+func summarize(samples []int64) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sum := int64(0)
+	for _, v := range sorted {
+		sum += v
+	}
+	s.MeanNs = float64(sum) / float64(len(sorted))
+	s.P50Ns = percentile(sorted, 50)
+	s.P90Ns = percentile(sorted, 90)
+	s.P99Ns = percentile(sorted, 99)
+	s.MaxNs = sorted[len(sorted)-1]
+	return s
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted samples.
+func percentile(sorted []int64, p int) int64 {
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// result assembles the final Result.
+func (c *collector) result(cfg Config, res *sim.Result, virtualNs int64) *Result {
+	r := &Result{
+		Sim:             res,
+		VirtualNs:       virtualNs,
+		Passages:        len(c.passNs),
+		CrashedPassages: c.crashedPassages,
+		Crashes:         len(res.Crashes),
+		Passage:         summarize(c.passNs),
+		Request:         summarize(c.reqNs),
+		LevelHist:       c.levelHist,
+		LevelNs:         c.levelNs,
+		MaxLevel:        len(c.levelHist),
+		TraceHash:       c.hash,
+		Trace:           c.trace,
+	}
+	if virtualNs > 0 {
+		r.ThroughputPerSec = float64(r.Passages) / (float64(virtualNs) / 1e9)
+	}
+	var ff []int64
+	for _, p := range res.Passages {
+		if !p.Crashed && !p.Aborted {
+			ff = append(ff, p.RMRs)
+		}
+	}
+	if len(ff) > 0 {
+		sort.Slice(ff, func(i, j int) bool { return ff[i] < ff[j] })
+		r.RMRMedian = percentile(ff, 50)
+	}
+	if c.keyCount != nil {
+		for k, n := range c.keyCount {
+			if n == 0 {
+				continue
+			}
+			r.PerKey = append(r.PerKey, KeyStats{
+				Key:      k,
+				Passages: n,
+				MeanNs:   float64(c.keySumNs[k]) / float64(n),
+			})
+		}
+	}
+	return r
+}

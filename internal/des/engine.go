@@ -1,0 +1,282 @@
+package des
+
+import (
+	"math/rand"
+
+	"rme/internal/memory"
+	"rme/internal/metrics"
+	"rme/internal/sim"
+)
+
+// engine is the discrete-event core: it is both the sim.Scheduler (grant
+// the minimum-virtual-clock process) and the sim.FailurePlan (fire the
+// crashes the event queue scheduled) of one run, and it observes every
+// lifecycle event to charge think times, critical-section hold times and
+// crash outages to the per-process clocks.
+type engine struct {
+	cfg   Config
+	arena *memory.Arena
+	ks    *Keyspace
+	rng   *rand.Rand
+	burst *burstClock
+	queue eventQueue
+
+	now  int64
+	wake []int64
+	// lastRMR/lastOps are the arena counters at each process's previous
+	// grant; the deltas observed at the next grant are the instructions
+	// the process executed in between, priced by the latency model.
+	lastRMR []int64
+	lastOps []int64
+	slow    []int64
+
+	inPassage    []bool
+	retryPending []bool
+	pendingCrash []bool
+	level        []int
+	passStart    []int64
+	reqStart     []int64
+	contenders   int
+	crashesFired int
+
+	// Per-key critical-section occupancy. The lockstep runner's global
+	// MaxCSOverlap is the wrong invariant for a keyed run — passages on
+	// distinct keys overlap by design — so the engine re-derives mutual
+	// exclusion per key from lifecycle events and the routing mirror.
+	inCS     []bool
+	csKey    []int
+	keyCS    []int
+	maxKeyCS int
+
+	stats collector
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ 0x6d657267)),
+		wake:         make([]int64, cfg.N),
+		lastRMR:      make([]int64, cfg.N),
+		lastOps:      make([]int64, cfg.N),
+		slow:         make([]int64, cfg.N),
+		inPassage:    make([]bool, cfg.N),
+		retryPending: make([]bool, cfg.N),
+		pendingCrash: make([]bool, cfg.N),
+		level:        make([]int, cfg.N),
+		passStart:    make([]int64, cfg.N),
+		reqStart:     make([]int64, cfg.N),
+		inCS:         make([]bool, cfg.N),
+		csKey:        make([]int, cfg.N),
+	}
+	keys := cfg.Keys
+	if keys < 1 {
+		keys = 1
+	}
+	e.keyCS = make([]int, keys)
+	for pid := range e.slow {
+		e.slow[pid] = 1
+	}
+	if cfg.Arrival.Kind == Bursty {
+		e.burst = newBurstClock(cfg.Arrival, e.rng)
+	}
+	cfg.Crashes.schedule(&e.queue, e.rng)
+	cfg.Stragglers.schedule(&e.queue, cfg.N)
+	e.stats.init(cfg)
+	return e
+}
+
+// attach wires the engine to the run's arena (for exact RMR deltas) and
+// keyspace (for per-key accounting). Must be called before Run.
+func (e *engine) attach(a *memory.Arena, ks *Keyspace) {
+	e.arena = a
+	e.ks = ks
+}
+
+// charge prices every instruction executed since each ready process's
+// previous grant. All live processes are parked at every grant, so no
+// executed instruction is ever missed — the lag is at most one grant.
+func (e *engine) charge(ready []int) {
+	for _, pid := range ready {
+		dR := e.arena.RMRs(pid) - e.lastRMR[pid]
+		dO := e.arena.Ops(pid) - e.lastOps[pid]
+		if dO == 0 && dR == 0 {
+			continue
+		}
+		e.lastRMR[pid] += dR
+		e.lastOps[pid] += dO
+		e.wake[pid] += e.cfg.Latency.cost(dR, dO, e.contenders, e.slow[pid])
+	}
+}
+
+// environment fires every scheduled event whose time has been reached by
+// the earliest ready clock — the point virtual time is about to advance
+// to.
+func (e *engine) environment(t int64) {
+	for {
+		ev, ok := e.queue.peek()
+		if !ok || ev.at > t {
+			return
+		}
+		e.queue.pop()
+		switch ev.kind {
+		case evCrash:
+			e.fireCrash()
+		case evSlowOn:
+			e.slow[ev.pid] = e.cfg.Stragglers.Factor
+			if e.cfg.Stragglers.OnNs > 0 {
+				e.queue.push(ev.at+expNs(e.rng, float64(e.cfg.Stragglers.OnNs)), evSlowOff, ev.pid)
+			}
+		case evSlowOff:
+			e.slow[ev.pid] = 1
+			e.queue.push(ev.at+expNs(e.rng, float64(e.cfg.Stragglers.OffNs)), evSlowOn, ev.pid)
+		}
+	}
+}
+
+// fireCrash picks a victim — preferring processes inside a passage, where
+// a failure actually damages shared state — and arms it to crash at its
+// next instruction boundary.
+func (e *engine) fireCrash() {
+	candidates := make([]int, 0, e.cfg.N)
+	for pid := 0; pid < e.cfg.N; pid++ {
+		if e.inPassage[pid] && !e.pendingCrash[pid] {
+			candidates = append(candidates, pid)
+		}
+	}
+	if len(candidates) == 0 {
+		for pid := 0; pid < e.cfg.N; pid++ {
+			if !e.pendingCrash[pid] {
+				candidates = append(candidates, pid)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	e.pendingCrash[candidates[e.rng.Intn(len(candidates))]] = true
+}
+
+// Pick implements sim.Scheduler: price executed work, fire due
+// environment events, then grant the process with the smallest virtual
+// clock (ties to the lowest pid). Because the granted clock is the
+// minimum and clocks only grow, virtual time is monotone.
+func (e *engine) Pick(_ *rand.Rand, ready []int) int {
+	e.charge(ready)
+	best := ready[0]
+	for _, pid := range ready[1:] {
+		if e.wake[pid] < e.wake[best] {
+			best = pid
+		}
+	}
+	e.environment(e.wake[best])
+	// Environment events never move clocks, so best still holds the
+	// minimum; pendingCrash decisions made above apply from this grant on.
+	if e.wake[best] > e.now {
+		e.now = e.wake[best]
+	}
+	return best
+}
+
+// Crash implements sim.FailurePlan: a process armed by the event queue
+// fails at its next instruction boundary.
+func (e *engine) Crash(ctx sim.StepCtx) bool {
+	if !ctx.IsOp || !e.pendingCrash[ctx.PID] {
+		return false
+	}
+	e.pendingCrash[ctx.PID] = false
+	e.crashesFired++
+	return true
+}
+
+// Observe implements sim.FailurePlan: it folds every executed instruction
+// into the determinism trace hash and reconstructs the BA-Lock level the
+// passage is committed to, exactly as the native metrics recorder does
+// from the same labels.
+func (e *engine) Observe(ctx sim.StepCtx) {
+	if !ctx.IsOp {
+		return
+	}
+	e.stats.hashOp(ctx.PID, ctx.OpIndex, byte(ctx.Op.Kind), uint32(ctx.Op.Addr), e.wake[ctx.PID])
+	if lvl := metrics.SlowLevel(ctx.Op.Label); lvl > e.level[ctx.PID] {
+		e.level[ctx.PID] = lvl
+	}
+}
+
+// key returns pid's current key (0 on single-lock runs).
+func (e *engine) key(pid int) int {
+	if e.ks == nil {
+		return 0
+	}
+	return e.ks.LastKey(pid)
+}
+
+// onEvent is the sim.Config.OnEvent hook: lifecycle boundaries are where
+// workload time (arrivals, holds, outages) enters the clocks and where
+// the collector closes latency samples. The event is stamped with the
+// clock as granted — additions the event itself causes (think time, CS
+// hold, crash outage) take effect after it, keeping the trace
+// time-ordered.
+func (e *engine) onEvent(ev sim.Event, _ *memory.Arena) {
+	pid := ev.PID
+	at := e.wake[pid]
+	e.stats.event(ev.Kind, pid, at, e.cfg.RecordTrace)
+	switch ev.Kind {
+	case sim.EvNCS:
+		if e.retryPending[pid] {
+			// The pending request survived the crash; the process retries
+			// as soon as it is back up — no new arrival is drawn.
+			e.retryPending[pid] = false
+		} else {
+			e.wake[pid] += e.cfg.Arrival.thinkNs(at, e.rng, e.burst)
+		}
+	case sim.EvRequest:
+		e.reqStart[pid] = at
+	case sim.EvPassageStart:
+		e.inPassage[pid] = true
+		e.contenders++
+		e.level[pid] = 1
+		e.passStart[pid] = at
+	case sim.EvCSEnter:
+		k := e.key(pid)
+		e.inCS[pid] = true
+		e.csKey[pid] = k
+		e.keyCS[k]++
+		if e.keyCS[k] > e.maxKeyCS {
+			e.maxKeyCS = e.keyCS[k]
+		}
+		e.wake[pid] += e.cfg.HoldNs
+	case sim.EvCSExit:
+		e.inCS[pid] = false
+		e.keyCS[e.csKey[pid]]--
+	case sim.EvPassageEnd:
+		e.contenders--
+		e.inPassage[pid] = false
+		e.stats.passage(at-e.passStart[pid], e.level[pid], e.key(pid))
+	case sim.EvAborted:
+		e.contenders--
+		e.inPassage[pid] = false
+	case sim.EvCrash:
+		if e.inPassage[pid] {
+			e.contenders--
+			e.inPassage[pid] = false
+		}
+		if e.inCS[pid] {
+			// The victim died inside its CS; the key is free again once
+			// recovery repairs it.
+			e.inCS[pid] = false
+			e.keyCS[e.csKey[pid]]--
+		}
+		e.stats.crashedPassages++
+		e.wake[pid] += e.cfg.Crashes.DownNs
+		e.retryPending[pid] = true
+	case sim.EvSatisfied:
+		e.stats.request(at - e.reqStart[pid])
+	}
+}
+
+// finish assembles the Result once the lockstep run has returned.
+func (e *engine) finish(res *sim.Result) *Result {
+	r := e.stats.result(e.cfg, res, e.now)
+	r.MaxKeyCSOverlap = e.maxKeyCS
+	return r
+}

@@ -1,0 +1,89 @@
+package des
+
+// evKind identifies an environment event on the virtual-time queue.
+type evKind uint8
+
+const (
+	// evCrash schedules one failure: the victim (chosen at fire time when
+	// PID < 0) crashes at its next instruction boundary.
+	evCrash evKind = iota + 1
+	// evSlowOn / evSlowOff toggle a straggler's slow phase.
+	evSlowOn
+	evSlowOff
+)
+
+// envEvent is one scheduled environment event. Seq breaks ties between
+// equal timestamps in FIFO order so the queue is fully deterministic.
+type envEvent struct {
+	at   int64
+	seq  uint64
+	kind evKind
+	pid  int
+}
+
+// eventQueue is a binary min-heap of environment events ordered by
+// (virtual time, insertion order). It is the event queue of the
+// discrete-event engine; process wake-ups deliberately do not live here
+// (see the package comment).
+type eventQueue struct {
+	items []envEvent
+	seq   uint64
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+// push schedules an event at virtual time `at`.
+func (q *eventQueue) push(at int64, kind evKind, pid int) {
+	q.items = append(q.items, envEvent{at: at, seq: q.seq, kind: kind, pid: pid})
+	q.seq++
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// peek returns the earliest event without removing it.
+func (q *eventQueue) peek() (envEvent, bool) {
+	if len(q.items) == 0 {
+		return envEvent{}, false
+	}
+	return q.items[0], true
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() envEvent {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.items) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// len reports the number of pending events.
+func (q *eventQueue) len() int { return len(q.items) }

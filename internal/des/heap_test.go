@@ -1,0 +1,58 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHeapOrder pushes a random permutation of timestamps and checks pops
+// come out sorted.
+func TestHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q eventQueue
+	var want []int64
+	for i := 0; i < 500; i++ {
+		at := rng.Int63n(1_000_000)
+		q.push(at, evCrash, i)
+		want = append(want, at)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		ev := q.pop()
+		if ev.at != w {
+			t.Fatalf("pop %d: at=%d, want %d", i, ev.at, w)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.len())
+	}
+}
+
+// TestHeapFIFOTies checks equal timestamps pop in insertion order.
+func TestHeapFIFOTies(t *testing.T) {
+	var q eventQueue
+	for pid := 0; pid < 20; pid++ {
+		q.push(100, evSlowOn, pid)
+	}
+	for pid := 0; pid < 20; pid++ {
+		if ev := q.pop(); ev.pid != pid {
+			t.Fatalf("tie order broken: got pid %d, want %d", ev.pid, pid)
+		}
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	var q eventQueue
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+	q.push(5, evCrash, -1)
+	q.push(3, evCrash, -1)
+	if ev, ok := q.peek(); !ok || ev.at != 3 {
+		t.Fatalf("peek = %+v, %v", ev, ok)
+	}
+	if q.len() != 2 {
+		t.Fatalf("peek consumed an event: len=%d", q.len())
+	}
+}

@@ -1,0 +1,97 @@
+package des
+
+import (
+	"math/rand"
+
+	"rme/internal/memory"
+	"rme/internal/sim"
+)
+
+// Keyspace is an rme.Map-shaped composite lock: Keys independent lock
+// instances behind one sim.Lock facade, with each request routed to a
+// Zipf-sampled key. The chosen key is persisted in shared memory before
+// the inner lock is touched, so a process that crashes mid-passage
+// recovers into the same key's lock — exactly the pinning discipline
+// rme.Map applies to crashed claims — and the retried request stays on
+// the key it originally drew.
+//
+// The routing state costs a few shared-memory operations per passage
+// (persist the draw, clear it after Exit); keyed rows therefore sit
+// slightly above the single-lock anchor rows by construction, which is
+// the honest price of a sharded keyspace.
+type Keyspace struct {
+	n     int
+	locks []sim.Lock
+	// curKey[pid] holds the 1-based key of the passage in flight (0 =
+	// none); it lives in shared memory so it survives crashes.
+	curKey []memory.Addr
+	zipf   *Zipf
+	rng    *rand.Rand
+	// lastKey[pid] mirrors the routing decision for the collector (Go
+	// state, scheduler-serialized — never read concurrently with the
+	// owning process's step).
+	lastKey []int
+}
+
+// NewKeyspace builds keys lock instances from factory over the shared
+// space. The sampler's randomness is derived from seed and consumed in
+// scheduler order, preserving run determinism.
+func NewKeyspace(sp memory.Space, n, keys int, zipfS float64, seed int64, factory sim.Factory) *Keyspace {
+	z, err := NewZipf(keys, zipfS)
+	if err != nil {
+		panic(err) // Config.fill validated Keys and ZipfS already
+	}
+	ks := &Keyspace{
+		n:       n,
+		locks:   make([]sim.Lock, keys),
+		curKey:  make([]memory.Addr, n),
+		zipf:    z,
+		rng:     rand.New(rand.NewSource(seed ^ 0x5bf03635)),
+		lastKey: make([]int, n),
+	}
+	for k := range ks.locks {
+		ks.locks[k] = factory(sp, n)
+	}
+	for pid := range ks.curKey {
+		ks.curKey[pid] = sp.Alloc(1, pid)
+	}
+	return ks
+}
+
+// Keys returns the keyspace size.
+func (ks *Keyspace) Keys() int { return len(ks.locks) }
+
+// LastKey returns the 0-based key of pid's most recent routing decision.
+func (ks *Keyspace) LastKey(pid int) int { return ks.lastKey[pid] }
+
+// Recover implements sim.Lock: it pins the passage to a key — the one
+// persisted by a crashed predecessor passage, or a fresh Zipf draw — and
+// recovers that key's lock.
+func (ks *Keyspace) Recover(p memory.Port) {
+	pid := p.PID()
+	k := int(p.Read(ks.curKey[pid]))
+	if k == 0 {
+		k = ks.zipf.Sample(ks.rng) + 1
+		p.Write(ks.curKey[pid], memory.Word(k))
+	}
+	ks.lastKey[pid] = k - 1
+	ks.locks[k-1].Recover(p)
+}
+
+// Enter implements sim.Lock.
+func (ks *Keyspace) Enter(p memory.Port) {
+	pid := p.PID()
+	k := int(p.Read(ks.curKey[pid]))
+	ks.locks[k-1].Enter(p)
+}
+
+// Exit implements sim.Lock: it releases the key's lock and only then
+// clears the pin. A crash inside Exit leaves the pin set, and the next
+// passage's Recover re-enters the same lock — recoverable locks treat a
+// Recover after a completed Exit as a no-op repair.
+func (ks *Keyspace) Exit(p memory.Port) {
+	pid := p.PID()
+	k := int(p.Read(ks.curKey[pid]))
+	ks.locks[k-1].Exit(p)
+	p.Write(ks.curKey[pid], 0)
+}

@@ -1,0 +1,58 @@
+package des
+
+// LatencyModel maps the simulator's exact operation accounting onto
+// virtual nanoseconds. The arena already decides, per instruction and
+// per memory model (CC/DSM), whether the operation was a remote memory
+// reference; the model only prices the two classes and adds a contention
+// penalty — under real cache coherence an RMR gets more expensive as more
+// processors fight over the same lines (bus arbitration, invalidation
+// storms), which is exactly the effect that bends a latency-vs-load curve
+// into its knee.
+type LatencyModel struct {
+	// LocalNs is the cost of a local operation: a cached read under CC, a
+	// home-module access under DSM, or any private-state instruction.
+	LocalNs int64
+	// RemoteNs is the base cost of one remote memory reference.
+	RemoteNs int64
+	// ContentionNs is the additional cost per RMR per *other* process
+	// concurrently inside a passage (the coherence-traffic penalty).
+	ContentionNs int64
+}
+
+// Default virtual-time prices. The absolute values are loosely modeled on
+// a contemporary multi-socket cache hierarchy (a handful of ns for a hit,
+// tens of ns for a coherence miss); only their ratios matter for the
+// shape of the latency trajectory.
+const (
+	DefaultLocalNs      = 2
+	DefaultRemoteNs     = 60
+	DefaultContentionNs = 20
+)
+
+func (m *LatencyModel) fill() {
+	if m.LocalNs == 0 {
+		m.LocalNs = DefaultLocalNs
+	}
+	if m.RemoteNs == 0 {
+		m.RemoteNs = DefaultRemoteNs
+	}
+	if m.ContentionNs == 0 {
+		m.ContentionNs = DefaultContentionNs
+	}
+}
+
+// cost prices a batch of executed instructions: rmrs of them were remote
+// memory references, ops-rmrs were local, and contenders processes
+// (including the one being charged) were inside a passage at charge time.
+// slow is the straggler multiplier (1 for healthy processes).
+func (m LatencyModel) cost(rmrs, ops int64, contenders int, slow int64) int64 {
+	local := ops - rmrs
+	if local < 0 {
+		local = 0
+	}
+	c := rmrs*m.RemoteNs + local*m.LocalNs
+	if extra := int64(contenders - 1); extra > 0 {
+		c += rmrs * m.ContentionNs * extra
+	}
+	return c * slow
+}

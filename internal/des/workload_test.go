@@ -1,0 +1,233 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPoissonMoments bounds the sample mean and variance of the
+// exponential inter-arrival times against their analytic values
+// (mean 1/λ, variance 1/λ²). 50k samples at a fixed seed keep the
+// relative error well under the 5% tolerance.
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Arrival{Kind: Poisson, Rate: 10_000}
+	a.fill()
+	const samples = 50_000
+	meanWant := rateGapNs(a.Rate) // 100µs
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		d := float64(a.thinkNs(0, rng, nil))
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / samples
+	variance := sumSq/samples - mean*mean
+	if rel := math.Abs(mean-meanWant) / meanWant; rel > 0.05 {
+		t.Fatalf("mean %0.f vs %0.f (rel err %.3f)", mean, meanWant, rel)
+	}
+	if rel := math.Abs(variance-meanWant*meanWant) / (meanWant * meanWant); rel > 0.1 {
+		t.Fatalf("variance %0.f vs %0.f (rel err %.3f)", variance, meanWant*meanWant, rel)
+	}
+}
+
+// TestZipfSlope checks the rank-frequency law: for P(k) ∝ 1/k^s the
+// log-log slope between rank 1 and rank r is -s. Estimated over 200k
+// samples at ranks 1 vs 8, the fitted slope must be within 10% of s.
+func TestZipfSlope(t *testing.T) {
+	const n, s = 64, 1.5
+	z, err := NewZipf(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, n)
+	const samples = 200_000
+	for i := 0; i < samples; i++ {
+		counts[z.Sample(rng)]++
+	}
+	if counts[0] <= counts[7] {
+		t.Fatalf("rank 0 (%d) not hotter than rank 7 (%d)", counts[0], counts[7])
+	}
+	slope := math.Log(float64(counts[0])/float64(counts[7])) / math.Log(8)
+	if math.Abs(slope-s)/s > 0.1 {
+		t.Fatalf("fitted slope %.3f, want %.1f ±10%%", slope, s)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 2); err == nil {
+		t.Fatal("accepted zero ranks")
+	}
+	if _, err := NewZipf(4, 1); err == nil {
+		t.Fatal("accepted skew 1")
+	}
+	z, err := NewZipf(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		if k := z.Sample(rng); k != 0 {
+			t.Fatalf("single-rank sampler returned %d", k)
+		}
+	}
+}
+
+// TestBurstDutyCycle drives the on/off clock over a long horizon and
+// checks the fraction of samples drawn at the on-rate matches the
+// configured duty cycle OnNs/(OnNs+OffNs) within 10 points.
+func TestBurstDutyCycle(t *testing.T) {
+	a := Arrival{Kind: Bursty, Rate: 1_000_000, OffRate: 1_000, OnNs: 300_000, OffNs: 700_000}
+	a.fill()
+	rng := rand.New(rand.NewSource(4))
+	b := newBurstClock(a, rng)
+	const step = 1_000 // sample every µs over 2s of virtual time
+	on := 0
+	const samples = 2_000_000
+	for i := 0; i < samples; i++ {
+		if b.phase(int64(i)*step, rng) {
+			on++
+		}
+	}
+	duty := float64(on) / samples
+	want := float64(a.OnNs) / float64(a.OnNs+a.OffNs)
+	if math.Abs(duty-want) > 0.10 {
+		t.Fatalf("duty cycle %.3f, want %.3f ±0.10", duty, want)
+	}
+}
+
+// TestBurstRates checks the two phases actually sample at their
+// respective rates: think times drawn while "on" must be far shorter on
+// average than those drawn while "off".
+func TestBurstRates(t *testing.T) {
+	a := Arrival{Kind: Bursty, Rate: 1_000_000}
+	a.fill()
+	if a.OffRate != a.Rate/50 {
+		t.Fatalf("OffRate default = %v, want %v", a.OffRate, a.Rate/50)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b := newBurstClock(a, rng)
+	var onSum, offSum float64
+	var onN, offN int
+	for i := 0; i < 200_000; i++ {
+		t0 := int64(i) * 500
+		wasOn := b.phase(t0, rng)
+		d := float64(a.thinkNs(t0, rng, b))
+		if wasOn {
+			onSum += d
+			onN++
+		} else {
+			offSum += d
+			offN++
+		}
+	}
+	if onN == 0 || offN == 0 {
+		t.Fatalf("phase never toggled: on=%d off=%d", onN, offN)
+	}
+	if offSum/float64(offN) < 10*onSum/float64(onN) {
+		t.Fatalf("off-phase mean %.0f not ≫ on-phase mean %.0f",
+			offSum/float64(offN), onSum/float64(onN))
+	}
+}
+
+// TestCrashSchedule checks the generators emit exactly Budget events and
+// that storm victims cluster: every storm's events fall within the
+// configured span of the storm onset.
+func TestCrashSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	u := Crashes{Kind: Uniform, Budget: 25}
+	if err := u.fill(); err != nil {
+		t.Fatal(err)
+	}
+	var q eventQueue
+	u.schedule(&q, rng)
+	if q.len() != 25 {
+		t.Fatalf("uniform scheduled %d events, want 25", q.len())
+	}
+	last := int64(-1)
+	for q.len() > 0 {
+		ev := q.pop()
+		if ev.kind != evCrash || ev.at <= last {
+			t.Fatalf("bad event %+v after t=%d", ev, last)
+		}
+		last = ev.at
+	}
+
+	s := Crashes{Kind: Storm, Budget: 10, StormSize: 4, StormSpanNs: 1_000, StormGapNs: 10_000_000}
+	if err := s.fill(); err != nil {
+		t.Fatal(err)
+	}
+	var sq eventQueue
+	s.schedule(&sq, rng)
+	if sq.len() != 10 {
+		t.Fatalf("storm scheduled %d events, want 10", sq.len())
+	}
+	var times []int64
+	for sq.len() > 0 {
+		times = append(times, sq.pop().at)
+	}
+	// With gaps ≫ span the storms are well separated: walking the sorted
+	// times, each jump > span starts a new storm of at most StormSize.
+	burst := 1
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] <= s.StormSpanNs {
+			burst++
+			if burst > s.StormSize {
+				t.Fatalf("storm of %d > size %d around t=%d", burst, s.StormSize, times[i])
+			}
+		} else {
+			burst = 1
+		}
+	}
+}
+
+func TestStragglerSchedule(t *testing.T) {
+	var q eventQueue
+	Stragglers{Count: 2, Factor: 4}.schedule(&q, 8)
+	if q.len() != 2 {
+		t.Fatalf("scheduled %d events, want 2", q.len())
+	}
+	pids := map[int]bool{}
+	for q.len() > 0 {
+		ev := q.pop()
+		if ev.kind != evSlowOn || ev.at != 0 {
+			t.Fatalf("bad straggler event %+v", ev)
+		}
+		pids[ev.pid] = true
+	}
+	if !pids[7] || !pids[6] {
+		t.Fatalf("stragglers = %v, want the highest pids {6,7}", pids)
+	}
+}
+
+func TestExpNsNeverZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if d := expNs(rng, 0.001); d < 1 {
+			t.Fatalf("expNs returned %d", d)
+		}
+	}
+}
+
+func TestLatencyCost(t *testing.T) {
+	m := LatencyModel{}
+	m.fill()
+	if m.LocalNs != DefaultLocalNs || m.RemoteNs != DefaultRemoteNs || m.ContentionNs != DefaultContentionNs {
+		t.Fatalf("defaults not filled: %+v", m)
+	}
+	// 3 RMRs + 2 local ops, alone: 3*60 + 2*2.
+	if c := m.cost(3, 5, 1, 1); c != 3*DefaultRemoteNs+2*DefaultLocalNs {
+		t.Fatalf("solo cost = %d", c)
+	}
+	// Same with 3 contenders: +3*20*2 contention.
+	want := int64(3*DefaultRemoteNs + 2*DefaultLocalNs + 3*DefaultContentionNs*2)
+	if c := m.cost(3, 5, 3, 1); c != want {
+		t.Fatalf("contended cost = %d, want %d", c, want)
+	}
+	// Straggler multiplier scales everything.
+	if c := m.cost(3, 5, 3, 5); c != 5*want {
+		t.Fatalf("slow cost = %d, want %d", c, 5*want)
+	}
+}

@@ -201,6 +201,16 @@ func Registry() map[string]Spec {
 			SlowLabels: slowLabels(core.DefaultLevels),
 			Levels:     core.DefaultLevels,
 		},
+		"ba-sublog-pool": {
+			Name:     "ba-sublog-pool",
+			Paper:    "BA-Lock over the arbitration-tree base with reclamation pools at every level — the exact recipe of the native rme.New(WithBase(BaseArbTree)) lock",
+			Strength: Strong,
+			New: func(sp memory.Space, n int) sim.Lock {
+				return core.NewBALock(sp, n, core.SubLogLevels(n), arbtreeBase, poolSource)
+			},
+			SlowLabels: slowLabels(core.SubLogLevels),
+			Levels:     core.SubLogLevels,
+		},
 	}
 }
 
