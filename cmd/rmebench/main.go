@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"rme/internal/bench"
+	"rme/internal/buildinfo"
 )
 
 // options bundles every experiment's parsed configuration.
@@ -237,12 +238,18 @@ func main() {
 		desseed  = flag.Int64("desseed", 1, "des: seed (fixed so BENCH_des.json is reproducible)")
 		deskeys  = flag.Int("deskeys", 16, "des: zipf-regime keyspace size")
 		descrash = flag.Int("descrashes", 24, "des: crash-regime failure budget")
+		desabort = flag.Int64("desaborts", 0, "des: abort-regime deadline in virtual ns (default 30µs)")
+		version  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(os.Stderr, usageText())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmebench"))
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -299,7 +306,8 @@ func main() {
 		aopts: bench.AbortOpts{Workers: *workers, Passages: *mpass, Rates: rateList},
 		kopts: bench.MapOpts{Workers: *workers, Keys: *mapkeys, ZipfS: *zipfs, Passages: *mpass, ChurnKeys: *churnkey},
 		dopts: bench.DESOpts{Workers: *workers, Requests: *desreq, Seed: *desseed,
-			Rates: desRateList, Keys: *deskeys, CrashBudget: *descrash},
+			Rates: desRateList, Keys: *deskeys, CrashBudget: *descrash,
+			AbortDeadlineNs: *desabort},
 		seed: *seed,
 		csv:  *csv,
 		json: *jsonOut,

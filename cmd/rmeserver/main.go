@@ -1,0 +1,128 @@
+// Command rmeserver is the live ops plane: a long-running HTTP service
+// that drives configurable workload regimes (hot, Zipf-keyed, churn,
+// deadline-abort, crash-injection, continuous soak — see internal/regime)
+// against rme.Mutex and rme.Map, and exposes what the locks are doing:
+//
+//	GET  /healthz                   liveness + running-regime count
+//	GET  /workloads                 regime status JSON
+//	POST /workloads/{name}/start    start a regime's drivers
+//	POST /workloads/{name}/stop     drain a regime's drivers
+//	GET  /metrics                   Prometheus text exposition (promexp)
+//	GET  /metrics.json              the same snapshots as JSON
+//	GET  /debug/flight              flight-recorder dump (?workload=, ?tail=)
+//	GET  /debug/flight/chrome       the dump as a Chrome/Perfetto trace
+//	GET  /debug/profile             phase-latency profile (?workload=)
+//
+// Scrapes read the same seqlock-consistent recorders the passage path
+// writes and add zero shared-memory operations to it; grafana/
+// dashboard.json panels the exposition. On SIGTERM/SIGINT the server
+// stops accepting requests, drains in-flight handlers, then stops every
+// regime's workers.
+//
+// -checkformat lints a Prometheus exposition payload from stdin (the CI
+// server-smoke job pipes a live scrape through it).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rme/internal/buildinfo"
+	"rme/internal/promexp"
+	"rme/internal/regime"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rmeserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:9190", "HTTP listen address")
+	workers := fs.Int("workers", 4, "worker (process) count per regime")
+	regimes := fs.String("regimes", "hot", "comma-separated regimes to start at boot (empty = none; see /workloads)")
+	out := fs.String("out", ".", "directory for soak repro artifacts")
+	version := fs.Bool("version", false, "print build info and exit")
+	checkFormat := fs.Bool("checkformat", false, "lint a Prometheus exposition payload from stdin and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("rmeserver"))
+		return 0
+	}
+	if *checkFormat {
+		data, err := io.ReadAll(stdin)
+		if err == nil {
+			err = promexp.Lint(data)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "rmeserver: checkformat: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "exposition OK")
+		return 0
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(stderr, "rmeserver: %v\n", err)
+		return 2
+	}
+	srv, err := newServer(*workers, *out)
+	if err != nil {
+		fmt.Fprintf(stderr, "rmeserver: %v\n", err)
+		return 2
+	}
+	var boot []string
+	for _, name := range strings.Split(*regimes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := srv.runners[name]
+		if !ok {
+			fmt.Fprintf(stderr, "rmeserver: unknown regime %q (have: %v)\n", name, regime.Names())
+			return 2
+		}
+		r.Start()
+		boot = append(boot, name)
+	}
+
+	hs := &http.Server{Addr: *listen, Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(stderr, "rmeserver: %s listening on %s (workers=%d, regimes=%v)\n",
+		buildinfo.String("rmeserver"), *listen, *workers, boot)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "rmeserver: %v\n", err)
+			return 1
+		}
+		return 0
+	case s := <-sig:
+		fmt.Fprintf(stderr, "rmeserver: %v: draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "rmeserver: shutdown: %v\n", err)
+		}
+		srv.stopAll()
+		fmt.Fprintln(stderr, "rmeserver: drained")
+		return 0
+	}
+}

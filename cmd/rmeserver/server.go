@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rme/internal/flight"
+	"rme/internal/promexp"
+	"rme/internal/regime"
+)
+
+// server owns one regime.Runner per regime. All runners are built at
+// boot (stopped), so the control plane can start any of them on demand;
+// building a runner allocates its arena but drives no traffic.
+type server struct {
+	started time.Time
+	runners map[string]*regime.Runner
+}
+
+func newServer(workers int, outDir string) (*server, error) {
+	s := &server{started: time.Now(), runners: map[string]*regime.Runner{}}
+	for _, name := range regime.Names() {
+		r, err := regime.New(name, workers, outDir)
+		if err != nil {
+			return nil, err
+		}
+		s.runners[name] = r
+	}
+	return s, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /workloads", s.workloads)
+	mux.HandleFunc("POST /workloads/{name}/start", s.startWorkload)
+	mux.HandleFunc("POST /workloads/{name}/stop", s.stopWorkload)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /metrics.json", s.metricsJSON)
+	mux.HandleFunc("GET /debug/flight", s.debugFlight)
+	mux.HandleFunc("GET /debug/flight/chrome", s.debugChrome)
+	mux.HandleFunc("GET /debug/profile", s.debugProfile)
+	return mux
+}
+
+// stopAll drains every running regime (the SIGTERM path).
+func (s *server) stopAll() {
+	for _, r := range s.runners {
+		r.Stop()
+	}
+}
+
+// names returns the regime names in display order (the order
+// regime.Names declares, which every runner map iteration must follow
+// for deterministic JSON).
+func (s *server) names() []string {
+	return regime.Names()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	running := 0
+	for _, r := range s.runners {
+		if r.Running() {
+			running++
+		}
+	}
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.started).Nanoseconds(),
+		"running":   running,
+	})
+}
+
+func (s *server) workloads(w http.ResponseWriter, _ *http.Request) {
+	var out []regime.Status
+	for _, name := range s.names() {
+		out = append(out, s.runners[name].Status())
+	}
+	writeJSON(w, out)
+}
+
+// runner resolves the {name} path component, writing a 404 with the
+// valid names on miss.
+func (s *server) runner(w http.ResponseWriter, r *http.Request) *regime.Runner {
+	name := r.PathValue("name")
+	if name == "" {
+		name = r.URL.Query().Get("workload")
+	}
+	run, ok := s.runners[name]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown workload %q (have: %v)", name, s.names()),
+			http.StatusNotFound)
+		return nil
+	}
+	return run
+}
+
+func (s *server) startWorkload(w http.ResponseWriter, r *http.Request) {
+	run := s.runner(w, r)
+	if run == nil {
+		return
+	}
+	run.Start()
+	writeJSON(w, run.Status())
+}
+
+func (s *server) stopWorkload(w http.ResponseWriter, r *http.Request) {
+	run := s.runner(w, r)
+	if run == nil {
+		return
+	}
+	run.Stop()
+	writeJSON(w, run.Status())
+}
+
+// sources assembles the scrape inputs. Snapshots come from the same
+// seqlock-consistent recorders the passage path writes, so a scrape
+// performs no shared-memory operations of its own — the fast path costs
+// exactly as many RMRs with a scraper attached as without.
+func (s *server) sources() []promexp.Source {
+	var out []promexp.Source
+	for _, name := range s.names() {
+		r := s.runners[name]
+		src := promexp.Source{
+			Workload: name,
+			Running:  r.Running(),
+			Workers:  r.Workers(),
+			Snapshot: r.Snapshot(),
+		}
+		if st, ok := r.MapStats(); ok {
+			src.Map = &st
+		}
+		if p, ok := r.FlightProfile(); ok && len(p.Phases) > 0 {
+			src.Profile = &p
+		}
+		if name == "soak" {
+			st := r.Status()
+			src.Soak = &promexp.SoakStats{Runs: st.SoakRuns, Violations: st.SoakViolations}
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := promexp.Write(&buf, "rmeserver", s.sources()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func (s *server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]regime.Status{}
+	for _, name := range s.names() {
+		out[name] = s.runners[name].Status()
+	}
+	writeJSON(w, out)
+}
+
+// recording resolves ?workload= to a live flight recording, applying the
+// optional ?tail= trim.
+func (s *server) recording(w http.ResponseWriter, r *http.Request) *flight.Recording {
+	run := s.runner(w, r)
+	if run == nil {
+		return nil
+	}
+	rec, ok := run.FlightRecording()
+	if !ok {
+		http.Error(w, fmt.Sprintf("workload %q has no flight recorder", run.Name()),
+			http.StatusNotFound)
+		return nil
+	}
+	if t := r.URL.Query().Get("tail"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad tail %q", t), http.StatusBadRequest)
+			return nil
+		}
+		rec = rec.Tail(n)
+	}
+	return rec
+}
+
+func (s *server) debugFlight(w http.ResponseWriter, r *http.Request) {
+	rec := s.recording(w, r)
+	if rec == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := rec.WriteTo(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) debugChrome(w http.ResponseWriter, r *http.Request) {
+	rec := s.recording(w, r)
+	if rec == nil {
+		return
+	}
+	tr, err := flight.Chrome(rec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := tr.MarshalIndent()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *server) debugProfile(w http.ResponseWriter, r *http.Request) {
+	run := s.runner(w, r)
+	if run == nil {
+		return
+	}
+	p, ok := run.FlightProfile()
+	if !ok {
+		http.Error(w, fmt.Sprintf("workload %q has no flight recorder", run.Name()),
+			http.StatusNotFound)
+		return
+	}
+	writeJSON(w, p)
+}

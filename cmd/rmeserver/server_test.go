@@ -1,0 +1,398 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rme"
+	"rme/internal/flight"
+	"rme/internal/promexp"
+	"rme/internal/regime"
+)
+
+func newTestServer(t *testing.T, workers int) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(workers, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { ts.Close(); srv.stopAll() })
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// waitFor polls the predicate until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var h struct {
+		Status   string `json:"status"`
+		UptimeNS int64  `json:"uptime_ns"`
+		Running  int    `json:"running"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeNS <= 0 || h.Running != 0 {
+		t.Fatalf("healthz payload: %+v", h)
+	}
+}
+
+func TestWorkloadControlPlane(t *testing.T) {
+	srv, ts := newTestServer(t, 2)
+
+	code, body := get(t, ts.URL+"/workloads")
+	if code != http.StatusOK {
+		t.Fatalf("workloads: %d %s", code, body)
+	}
+	var list []regime.Status
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(regime.Names()) {
+		t.Fatalf("%d workloads listed, want %d", len(list), len(regime.Names()))
+	}
+	for i, name := range regime.Names() {
+		if list[i].Name != name || list[i].Running {
+			t.Fatalf("row %d: %+v, want stopped %q", i, list[i], name)
+		}
+	}
+
+	if code, body := post(t, ts.URL+"/workloads/hot/start"); code != http.StatusOK {
+		t.Fatalf("start: %d %s", code, body)
+	}
+	waitFor(t, "hot passages", func() bool {
+		return srv.runners["hot"].Snapshot().Passages > 10
+	})
+	if code, body := post(t, ts.URL+"/workloads/hot/stop"); code != http.StatusOK {
+		t.Fatalf("stop: %d %s", code, body)
+	}
+	if srv.runners["hot"].Running() {
+		t.Fatal("hot still running after stop")
+	}
+
+	if code, _ := post(t, ts.URL+"/workloads/bogus/start"); code != http.StatusNotFound {
+		t.Fatalf("unknown workload start: %d, want 404", code)
+	}
+	// The control plane is POST-only.
+	if code, _ := get(t, ts.URL+"/workloads/hot/start"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET start: %d, want 405", code)
+	}
+}
+
+// scrapeValue extracts a single sample value from an exposition payload.
+func scrapeValue(t *testing.T, body []byte, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` (\S+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("sample %q not in scrape", sample)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestMetricsAnchor is the zero-overhead regression: the hot regime at
+// one worker is the uncontended failure-free anchor, so the scraped
+// rme_rmr_median must exactly equal the median of a directly driven
+// single-process rme.Mutex — if scraping (or the server plumbing) added
+// even one shared-memory operation to the passage path, the distributions
+// would diverge.
+func TestMetricsAnchor(t *testing.T) {
+	srv, ts := newTestServer(t, 1)
+	if code, body := post(t, ts.URL+"/workloads/hot/start"); code != http.StatusOK {
+		t.Fatalf("start: %d %s", code, body)
+	}
+	// Scrape concurrently with the workload so any scrape-path
+	// interference would actually land on live passages.
+	for i := 0; i < 5; i++ {
+		if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+			t.Fatalf("scrape %d failed", i)
+		}
+	}
+	waitFor(t, "hot passages", func() bool {
+		return srv.runners["hot"].Snapshot().Passages >= 100
+	})
+	post(t, ts.URL+"/workloads/hot/stop")
+	_, body := get(t, ts.URL+"/metrics")
+	scraped := scrapeValue(t, body, `rme_rmr_median{workload="hot"}`)
+
+	m, err := rme.New(1, rme.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Lock(0)
+		m.Unlock(0)
+	}
+	snap, _ := m.MetricsSnapshot()
+	direct := float64(snap.RMRHist.Quantile(0.5))
+	if scraped != direct {
+		t.Fatalf("scraped rmr_median %v != directly driven %v — the ops plane is perturbing the passage path",
+			scraped, direct)
+	}
+}
+
+// TestScrapeAddsNoOps: with every regime stopped, repeated scrapes must
+// not move a single shared-memory-operation counter.
+func TestScrapeAddsNoOps(t *testing.T) {
+	srv, ts := newTestServer(t, 2)
+	if code, _ := post(t, ts.URL+"/workloads/hot/start"); code != http.StatusOK {
+		t.Fatal("start failed")
+	}
+	waitFor(t, "hot passages", func() bool {
+		return srv.runners["hot"].Snapshot().Passages > 5
+	})
+	post(t, ts.URL+"/workloads/hot/stop")
+
+	_, first := get(t, ts.URL+"/metrics")
+	for i := 0; i < 3; i++ {
+		get(t, ts.URL+"/metrics")
+		get(t, ts.URL+"/metrics.json")
+		get(t, ts.URL+"/debug/flight?workload=hot")
+	}
+	_, second := get(t, ts.URL+"/metrics")
+	re := regexp.MustCompile(`(?m)^(rme_(?:ops|rmrs)_total\{[^}]*\}) (\S+)$`)
+	firstVals := map[string]string{}
+	for _, m := range re.FindAllSubmatch(first, -1) {
+		firstVals[string(m[1])] = string(m[2])
+	}
+	if len(firstVals) == 0 {
+		t.Fatal("no ops/rmrs samples in scrape")
+	}
+	for _, m := range re.FindAllSubmatch(second, -1) {
+		if got, want := string(m[2]), firstVals[string(m[1])]; got != want {
+			t.Fatalf("%s moved from %s to %s across idle scrapes", m[1], want, got)
+		}
+	}
+}
+
+func TestMetricsLintsAndCountersMonotone(t *testing.T) {
+	srv, ts := newTestServer(t, 2)
+	post(t, ts.URL+"/workloads/hot/start")
+	post(t, ts.URL+"/workloads/churn/start")
+	waitFor(t, "traffic", func() bool {
+		return srv.runners["hot"].Snapshot().Passages > 5 &&
+			srv.runners["churn"].Snapshot().Passages > 5
+	})
+	_, first := get(t, ts.URL+"/metrics")
+	if err := promexp.Lint(first); err != nil {
+		t.Fatalf("live scrape fails lint: %v", err)
+	}
+	waitFor(t, "more traffic", func() bool {
+		return srv.runners["hot"].Snapshot().Passages > 50
+	})
+	_, second := get(t, ts.URL+"/metrics")
+	if err := promexp.Lint(second); err != nil {
+		t.Fatalf("second scrape fails lint: %v", err)
+	}
+	a := scrapeValue(t, first, `rme_passages_total{workload="hot"}`)
+	b := scrapeValue(t, second, `rme_passages_total{workload="hot"}`)
+	if b < a {
+		t.Fatalf("rme_passages_total went backwards: %v then %v", a, b)
+	}
+	// Map families present for the churn workload.
+	scrapeValue(t, second, `rme_map_keys{workload="churn"}`)
+	if v := scrapeValue(t, second, `rme_workload_running{workload="hot"}`); v != 1 {
+		t.Fatalf("hot not marked running: %v", v)
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	code, body := get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics.json: %d", code)
+	}
+	var m map[string]regime.Status
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range regime.Names() {
+		st, ok := m[name]
+		if !ok || st.Name != name {
+			t.Fatalf("metrics.json missing %q: %s", name, body)
+		}
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t, 2)
+	post(t, ts.URL+"/workloads/hot/start")
+	waitFor(t, "hot passages", func() bool {
+		return srv.runners["hot"].Snapshot().Passages > 5
+	})
+	post(t, ts.URL+"/workloads/hot/stop")
+
+	code, body := get(t, ts.URL+"/debug/flight?workload=hot")
+	if code != http.StatusOK {
+		t.Fatalf("flight: %d %s", code, body)
+	}
+	var rec flight.Recording
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("served recording invalid: %v", err)
+	}
+	if rec.Events() == 0 {
+		t.Fatal("served recording is empty")
+	}
+
+	code, body = get(t, ts.URL+"/debug/flight?workload=hot&tail=1")
+	if code != http.StatusOK {
+		t.Fatalf("flight tail: %d", code)
+	}
+	var tailed flight.Recording
+	if err := json.Unmarshal(body, &tailed); err != nil {
+		t.Fatal(err)
+	}
+	for pid, evs := range tailed.Procs {
+		if len(evs) > 1 {
+			t.Fatalf("tail=1 left %d events for p%d", len(evs), pid)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/debug/flight/chrome?workload=hot")
+	if code != http.StatusOK {
+		t.Fatalf("chrome: %d", code)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	code, body = get(t, ts.URL+"/debug/profile?workload=hot")
+	if code != http.StatusOK {
+		t.Fatalf("profile: %d", code)
+	}
+	var p flight.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) == 0 {
+		t.Fatal("profile has no phases")
+	}
+
+	if code, _ = get(t, ts.URL+"/debug/flight?workload=soak"); code != http.StatusNotFound {
+		t.Fatalf("soak flight: %d, want 404 (no native recorder)", code)
+	}
+	if code, _ = get(t, ts.URL+"/debug/flight?workload=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown flight: %d, want 404", code)
+	}
+	if code, _ = get(t, ts.URL+"/debug/flight?workload=hot&tail=zero"); code != http.StatusBadRequest {
+		t.Fatalf("bad tail: %d, want 400", code)
+	}
+}
+
+func TestRunFlagModes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("-version exited %d: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "rmeserver revision=") {
+		t.Fatalf("-version output: %q", out.String())
+	}
+
+	srcs := []promexp.Source{{Workload: "hot"}}
+	var payload bytes.Buffer
+	if err := promexp.Write(&payload, "test", srcs); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checkformat"}, bytes.NewReader(payload.Bytes()), &out, &errOut); code != 0 {
+		t.Fatalf("-checkformat rejected valid payload: %s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checkformat"}, strings.NewReader("not a metric\n"), &out, &errOut); code != 1 {
+		t.Fatal("-checkformat accepted garbage")
+	}
+	if !strings.Contains(errOut.String(), "checkformat") {
+		t.Fatalf("checkformat error output: %q", errOut.String())
+	}
+
+	errOut.Reset()
+	if code := run([]string{"-regimes", "bogus", "-listen", "127.0.0.1:0"},
+		strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("unknown boot regime exited %d, want 2", code)
+	}
+	if code := run([]string{"-badflag"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestBuildInfoInScrape: the rme_build_info gauge names the binary.
+func TestBuildInfoInScrape(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	_, body := get(t, ts.URL+"/metrics")
+	if !regexp.MustCompile(`(?m)^rme_build_info\{binary="rmeserver",`).Match(body) {
+		t.Fatalf("no rme_build_info in scrape:\n%s", body[:min(len(body), 300)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

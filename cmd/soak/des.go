@@ -9,6 +9,7 @@ import (
 
 	"rme/internal/check"
 	"rme/internal/des"
+	"rme/internal/regime"
 	"rme/internal/trace"
 )
 
@@ -97,6 +98,9 @@ func (c *desCampaign) verify(cfg des.Config, res *des.Result) error {
 	}
 	return nil
 }
+
+// flightTail mirrors the shared campaign bound for des post-mortems.
+const flightTail = regime.FlightTail
 
 // artifacts writes the repro config and, when a result exists, the flight
 // post-mortem of the violating run.

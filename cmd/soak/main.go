@@ -21,228 +21,22 @@
 // determinism probe per lock. Violations write a flight post-mortem and a
 // des-repro config JSON (deterministic — re-running the config reproduces
 // the violation exactly) and the campaign exits non-zero.
+//
+// The campaign machinery itself (the adversary plan, the repro pipeline,
+// the watchdog) lives in internal/regime, shared with cmd/rmeserver's
+// continuous soak regime.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
-	"sync"
 	"time"
 
-	"rme/internal/check"
-	"rme/internal/memory"
-	"rme/internal/metrics"
-	"rme/internal/repro"
-	"rme/internal/sim"
-	"rme/internal/trace"
+	"rme/internal/buildinfo"
+	"rme/internal/regime"
 	"rme/internal/workload"
 )
-
-// flightTail bounds the post-mortem flight dump to the last N events per
-// process — the window around the violation, not the whole campaign.
-const flightTail = 256
-
-// campaign parameterizes one soak run; factored out of main so the
-// end-to-end repro pipeline is testable with fixture locks.
-type campaign struct {
-	seeds    int
-	n        int
-	requests int
-	outDir   string
-	specs    []workload.Spec
-	stdout   io.Writer
-	// watch, if non-nil, shadows every run with a rolling event tail so a
-	// wall-clock watchdog can write a post-mortem of a stuck run.
-	watch *watchdog
-}
-
-// watchdog keeps a bounded tail of the lifecycle events of the run in
-// progress, updated synchronously from the scheduler via Config.OnEvent.
-// On timeout it converts the tail into a flight recording — the same
-// post-mortem format the violation path dumps — without needing the stuck
-// run to return a Result.
-type watchdog struct {
-	mu    sync.Mutex
-	lock  string
-	model memory.Model
-	seed  int64
-	n     int
-	tail  []sim.Event
-}
-
-func (w *watchdog) begin(lock string, model memory.Model, seed int64, n int) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.lock, w.model, w.seed, w.n = lock, model, seed, n
-	w.tail = w.tail[:0]
-}
-
-func (w *watchdog) observe(ev sim.Event, _ *memory.Arena) {
-	if ev.Kind == sim.EvOp {
-		return // lifecycle tail only; op streams are unbounded
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	limit := flightTail * w.n
-	if len(w.tail) >= limit {
-		copy(w.tail, w.tail[len(w.tail)-limit/2:])
-		w.tail = w.tail[:limit/2]
-	}
-	w.tail = append(w.tail, ev)
-}
-
-// postMortem writes the current tail as a flight recording and returns
-// the path plus a description of the interrupted run.
-func (w *watchdog) postMortem(outDir string) (string, string, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	desc := fmt.Sprintf("%s/%v seed=%d", w.lock, w.model, w.seed)
-	res := &sim.Result{Config: sim.Config{N: w.n},
-		Events: append([]sim.Event{}, w.tail...)}
-	rec := trace.SimRecording(res).Tail(flightTail)
-	rec.Note = fmt.Sprintf("soak watchdog timeout during %s", desc)
-	name := fmt.Sprintf("flight-watchdog-%s-%v-seed%d.json", w.lock, w.model, w.seed)
-	path := filepath.Join(outDir, name)
-	if err := rec.WriteFile(path); err != nil {
-		return "", desc, err
-	}
-	return path, desc, nil
-}
-
-// plan builds the per-run adversary. Each run needs a fresh, identical
-// plan: the plans are stateful and consume the run's random stream.
-func (c *campaign) plan() sim.FailurePlan {
-	return sim.PlanSeq{
-		&sim.RandomFailures{Rate: 0.008, MaxPerProcess: 3, DuringPassage: true},
-		&sim.UnsafeBudget{Total: 3, Rate: 0.4, MaxPerProcess: 1},
-		&sim.RandomAborts{Rate: 0.004, MaxPerProcess: 2},
-	}
-}
-
-func (c *campaign) config(model memory.Model, seed int64) sim.Config {
-	cfg := sim.Config{N: c.n, Model: model, Requests: c.requests,
-		Seed: seed, Plan: c.plan(), CSOps: 3, MaxSteps: 30_000_000}
-	if c.watch != nil {
-		cfg.OnEvent = c.watch.observe
-	}
-	return cfg
-}
-
-func strengthName(s workload.Strength) string {
-	if s == workload.Weak {
-		return repro.StrengthWeak
-	}
-	return repro.StrengthStrong
-}
-
-// report captures a violation as a shrunk, replayable artifact and returns
-// the file it was written to.
-func (c *campaign) report(spec workload.Spec, model memory.Model, seed int64, observed error) (string, error) {
-	art, _, err := repro.Record(repro.RunSpec{
-		Lock:       spec.Name,
-		Strength:   strengthName(spec.Strength),
-		BCSRMaxOps: 1 << 20,
-		Config:     c.config(model, seed),
-		Note:       fmt.Sprintf("soak %s/%v seed=%d: %v", spec.Name, model, seed, observed),
-	}, spec.New)
-	if err != nil {
-		return "", fmt.Errorf("recording repro: %w", err)
-	}
-	if art.Property == "" {
-		return "", fmt.Errorf("violation did not reproduce under the recording scheduler (non-deterministic plan?)")
-	}
-	art = repro.Shrink(art, spec.New)
-	name := fmt.Sprintf("repro-%s-%v-seed%d.json", spec.Name, model, seed)
-	path := filepath.Join(c.outDir, name)
-	if err := art.WriteFile(path); err != nil {
-		return "", err
-	}
-	return path, nil
-}
-
-// dumpFlight writes a post-mortem flight recording of the violating run —
-// the last flightTail lifecycle events per process in the rme-flight/v1
-// interchange format, so cmd/rmetrace can render the window around the
-// violation as a Chrome trace or ASCII timeline.
-func (c *campaign) dumpFlight(spec workload.Spec, model memory.Model, seed int64,
-	res *sim.Result, observed error) (string, error) {
-	rec := trace.SimRecording(res).Tail(flightTail)
-	rec.Note = fmt.Sprintf("soak %s/%v seed=%d: %v", spec.Name, model, seed, observed)
-	name := fmt.Sprintf("flight-%s-%v-seed%d.json", spec.Name, model, seed)
-	path := filepath.Join(c.outDir, name)
-	if err := rec.WriteFile(path); err != nil {
-		return "", err
-	}
-	return path, nil
-}
-
-// run executes the campaign and returns (runs, violations).
-func (c *campaign) run() (int, int) {
-	runs, failures := 0, 0
-	agg := map[string]metrics.Snapshot{}
-	var order []string
-	for _, spec := range c.specs {
-		if spec.Strength == workload.NonRecoverable {
-			continue
-		}
-		order = append(order, spec.Name)
-		levels := 1
-		if spec.Levels != nil {
-			levels = spec.Levels(c.n)
-		}
-		for _, model := range []memory.Model{memory.CC, memory.DSM} {
-			for seed := int64(0); seed < int64(c.seeds); seed++ {
-				if c.watch != nil {
-					c.watch.begin(spec.Name, model, seed, c.n)
-				}
-				r, err := sim.New(c.config(model, seed), spec.New)
-				if err != nil {
-					panic(err)
-				}
-				res, err := r.Run()
-				runs++
-				if err == nil {
-					agg[spec.Name] = agg[spec.Name].Merge(res.MetricsSnapshot(levels))
-				}
-				var cerr error
-				switch {
-				case err != nil:
-					cerr = &check.Violation{Property: check.PropStarvation, Err: err}
-				case spec.Strength == workload.Strong:
-					cerr = check.Strong(res, 1<<20)
-				default:
-					cerr = check.Weak(res)
-				}
-				if cerr == nil {
-					continue
-				}
-				failures++
-				fmt.Fprintf(c.stdout, "FAIL %s/%v seed=%d (%d crashes, %d aborts): %v\n",
-					spec.Name, model, seed, res.CrashCount(), res.AbortCount(), cerr)
-				if fp, ferr := c.dumpFlight(spec, model, seed, res, cerr); ferr != nil {
-					fmt.Fprintf(c.stdout, "  flight: %v\n", ferr)
-				} else {
-					fmt.Fprintf(c.stdout, "  flight recording → %s (render: rmetrace -timeline %s)\n", fp, fp)
-				}
-				path, rerr := c.report(spec, model, seed, cerr)
-				if rerr != nil {
-					fmt.Fprintf(c.stdout, "  repro: %v\n", rerr)
-					continue
-				}
-				fmt.Fprintf(c.stdout, "  repro written to %s (replay: rmesim -repro %s)\n", path, path)
-			}
-		}
-	}
-	fmt.Fprintln(c.stdout, "metrics (aggregated over models and seeds):")
-	for _, name := range order {
-		fmt.Fprintf(c.stdout, "  %-12s %s\n", name, agg[name])
-	}
-	fmt.Fprintf(c.stdout, "soak: %d runs, %d violations\n", runs, failures)
-	return runs, failures
-}
 
 func main() {
 	seeds := flag.Int("seeds", 100, "seeds per configuration")
@@ -251,8 +45,13 @@ func main() {
 	out := flag.String("out", ".", "directory for shrunk repro artifacts")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog for the whole campaign (0 = off)")
 	desMode := flag.Bool("des", false, "soak the virtual-time discrete-event simulator (crash storms, keyed traffic) instead of the lockstep campaign")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String("soak"))
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
 		os.Exit(2)
@@ -273,20 +72,20 @@ func main() {
 		}
 		specs = append(specs, spec)
 	}
-	c := &campaign{seeds: *seeds, n: *n, requests: *requests,
-		outDir: *out, specs: specs, stdout: os.Stdout}
+	c := &regime.Campaign{Seeds: *seeds, N: *n, Requests: *requests,
+		OutDir: *out, Specs: specs, Stdout: os.Stdout}
 
 	if *timeout <= 0 {
-		if _, failures := c.run(); failures > 0 {
+		if _, failures := c.Run(); failures > 0 {
 			os.Exit(1)
 		}
 		return
 	}
 
-	c.watch = &watchdog{}
+	c.Watch = &regime.Watchdog{}
 	done := make(chan int, 1)
 	go func() {
-		_, failures := c.run()
+		_, failures := c.Run()
 		done <- failures
 	}()
 	select {
@@ -295,7 +94,7 @@ func main() {
 			os.Exit(1)
 		}
 	case <-time.After(*timeout):
-		path, desc, err := c.watch.postMortem(*out)
+		path, desc, err := c.Watch.PostMortem(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "soak: watchdog timeout after %v during %s; post-mortem failed: %v\n",
 				*timeout, desc, err)

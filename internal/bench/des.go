@@ -44,6 +44,10 @@ type DESOpts struct {
 	Keys int
 	// CrashBudget is the failure budget of the crash regimes (default 24).
 	CrashBudget int
+	// AbortDeadlineNs is the passage deadline of the abort regime in
+	// virtual nanoseconds (default 30µs — shorter than p50 waiting time at
+	// the collapse rate, so deadlines actually fire).
+	AbortDeadlineNs int64
 }
 
 func (o *DESOpts) fill() {
@@ -65,13 +69,16 @@ func (o *DESOpts) fill() {
 	if o.CrashBudget <= 0 {
 		o.CrashBudget = 24
 	}
+	if o.AbortDeadlineNs <= 0 {
+		o.AbortDeadlineNs = 30_000
+	}
 }
 
 // DESResult is one simulated configuration.
 type DESResult struct {
 	Lock            string  `json:"lock"`     // native lock name ("ba-log")
 	SimLock         string  `json:"sim_lock"` // simulator spec ("ba-pool")
-	Regime          string  `json:"regime"`   // anchor | ramp | crash-uniform | crash-storm | zipf | straggler
+	Regime          string  `json:"regime"`   // anchor | ramp | crash-uniform | crash-storm | zipf | abort | straggler
 	Workers         int     `json:"workers"`
 	Failures        int     `json:"failures"` // injected budget (0 outside crash regimes)
 	RatePerSec      float64 `json:"rate_per_sec"`
@@ -79,6 +86,7 @@ type DESResult struct {
 	Keys            int     `json:"keys"`
 	Passages        int     `json:"passages"`
 	CrashedPassages int     `json:"crashed_passages"`
+	AbortedPassages int     `json:"aborted_passages"`
 	Crashes         int     `json:"crashes"`
 	VirtualMs       float64 `json:"virtual_ms"`
 	Throughput      float64 `json:"throughput_per_sec"`
@@ -168,6 +176,16 @@ func DESTraffic(o DESOpts) (*DESReport, error) {
 			return nil, err
 		}
 
+		// Deadline-abort traffic at the collapse rate: waiting long enough
+		// that per-passage deadlines fire, exercising the TryLockFor shape
+		// (back-out, fresh-arrival retry) under sustained contention.
+		abort := base
+		abort.Arrival = des.Arrival{Kind: des.Poisson, Rate: o.Rates[len(o.Rates)-1]}
+		abort.Aborts = des.Aborts{DeadlineNs: o.AbortDeadlineNs}
+		if err := desRow(rep, "abort", lk.name, abort); err != nil {
+			return nil, err
+		}
+
 		// One straggler running 8x slow through mid-ramp traffic.
 		strag := base
 		strag.Arrival = des.Arrival{Kind: des.Poisson, Rate: midRate}
@@ -199,6 +217,7 @@ func desRow(rep *DESReport, regime, lock string, cfg des.Config) error {
 		Keys:            cfg.Keys,
 		Passages:        res.Passages,
 		CrashedPassages: res.CrashedPassages,
+		AbortedPassages: res.AbortedPassages,
 		Crashes:         res.Crashes,
 		VirtualMs:       float64(res.VirtualNs) / 1e6,
 		Throughput:      res.ThroughputPerSec,

@@ -10,7 +10,7 @@ import (
 
 // TestDESTrafficStructure pins the trajectory through a stubbed runner:
 // per lock one anchor (n=1, lowest rate), every ramp rate, both crash
-// regimes, one zipf and one straggler run, in that order.
+// regimes, one zipf, one abort and one straggler run, in that order.
 func TestDESTrafficStructure(t *testing.T) {
 	var calls []des.Config
 	orig := desRunner
@@ -25,7 +25,7 @@ func TestDESTrafficStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	perLock := 1 + len(rates) + 2 + 1 + 1
+	perLock := 1 + len(rates) + 2 + 1 + 1 + 1
 	if len(calls) != 2*perLock {
 		t.Fatalf("%d runner calls, want %d", len(calls), 2*perLock)
 	}
@@ -64,7 +64,12 @@ func TestDESTrafficStructure(t *testing.T) {
 		if zipf.Keys != 8 || zipf.Arrival.Kind != des.Bursty {
 			t.Fatalf("zipf regime misconfigured: %+v", zipf)
 		}
-		strag := seq[4+len(rates)]
+		abort := seq[4+len(rates)]
+		if abort.Aborts.DeadlineNs != 30_000 || abort.Arrival.Rate != rates[len(rates)-1] ||
+			rows[4+len(rates)].Regime != "abort" {
+			t.Fatalf("abort regime misconfigured: %+v", abort)
+		}
+		strag := seq[5+len(rates)]
 		if strag.Stragglers.Count != 1 || strag.Stragglers.Factor != 8 {
 			t.Fatalf("straggler regime misconfigured: %+v", strag)
 		}

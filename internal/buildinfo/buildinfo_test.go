@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRevisionLdflagsOverride(t *testing.T) {
+	old := revision
+	defer func() { revision = old }()
+	revision = "abc1234"
+	if got := Revision(); got != "abc1234" {
+		t.Fatalf("Revision = %q, want ldflags value", got)
+	}
+	if got := String("rmeserver"); !strings.HasPrefix(got, "rmeserver revision=abc1234 go") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRevisionFallbackNonEmpty(t *testing.T) {
+	old := revision
+	defer func() { revision = old }()
+	revision = ""
+	if got := Revision(); got == "" {
+		t.Fatalf("Revision must never be empty")
+	}
+	if got := GoVersion(); !strings.HasPrefix(got, "go") {
+		t.Fatalf("GoVersion = %q", got)
+	}
+}

@@ -40,9 +40,12 @@ type Result struct {
 	// VirtualNs is the virtual time of the last grant.
 	VirtualNs int64
 	// Passages counts completed (failure-free or post-crash) passages;
-	// CrashedPassages counts passages cut short by a failure.
+	// CrashedPassages counts passages cut short by a failure;
+	// AbortedPassages counts passages whose deadline fired while waiting
+	// (the waiter backed out and retried as a fresh arrival).
 	Passages        int
 	CrashedPassages int
+	AbortedPassages int
 	// Crashes is the number of failures actually delivered.
 	Crashes int
 	// ThroughputPerSec is completed passages per virtual second.
@@ -84,6 +87,7 @@ type collector struct {
 	levelHist       []int64
 	levelNs         []int64
 	crashedPassages int
+	abortedPassages int
 	keyCount        []int
 	keySumNs        []int64
 	hash            uint64
@@ -195,6 +199,7 @@ func (c *collector) result(cfg Config, res *sim.Result, virtualNs int64) *Result
 		VirtualNs:       virtualNs,
 		Passages:        len(c.passNs),
 		CrashedPassages: c.crashedPassages,
+		AbortedPassages: c.abortedPassages,
 		Crashes:         len(res.Crashes),
 		Passage:         summarize(c.passNs),
 		Request:         summarize(c.reqNs),

@@ -68,6 +68,10 @@ type Config struct {
 	Latency LatencyModel
 	// Crashes schedules failures in virtual time (default none).
 	Crashes Crashes
+	// Aborts arms a per-passage deadline after which the waiter backs out
+	// via the lock's abort protocol (default none). Requires a lock whose
+	// recipe supports abortable passages.
+	Aborts Aborts
 	// Stragglers slows a subset of processes (default none).
 	Stragglers Stragglers
 	// HoldNs is virtual work performed inside the critical section, on top
@@ -107,6 +111,9 @@ func (c *Config) fill() error {
 	c.Arrival.fill()
 	c.Latency.fill()
 	if err := c.Crashes.fill(); err != nil {
+		return err
+	}
+	if err := c.Aborts.check(); err != nil {
 		return err
 	}
 	if err := c.Stragglers.check(c.N); err != nil {
@@ -163,6 +170,11 @@ func Run(cfg Config) (*Result, error) {
 	r, err := sim.New(simCfg, factory)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Aborts.DeadlineNs > 0 && ks != nil && !ks.Abortable() {
+		// The Keyspace facade always satisfies sim.Aborter, so the runner
+		// would deliver aborts that the inner recipe cannot back out of.
+		return nil, fmt.Errorf("des: %s does not support abortable passages", cfg.Lock)
 	}
 	eng.attach(r.Arena(), ks)
 	res, err := r.Run()

@@ -33,6 +33,11 @@ type engine struct {
 	inPassage    []bool
 	retryPending []bool
 	pendingCrash []bool
+	// abortAt[pid] is the virtual deadline of the passage in flight
+	// (0 = unarmed); armed at passage start when Config.Aborts is set,
+	// disarmed once the CS is reached (the lock is held — deadlines only
+	// cancel waiting).
+	abortAt      []int64
 	level        []int
 	passStart    []int64
 	reqStart     []int64
@@ -62,6 +67,7 @@ func newEngine(cfg Config) *engine {
 		inPassage:    make([]bool, cfg.N),
 		retryPending: make([]bool, cfg.N),
 		pendingCrash: make([]bool, cfg.N),
+		abortAt:      make([]int64, cfg.N),
 		level:        make([]int, cfg.N),
 		passStart:    make([]int64, cfg.N),
 		reqStart:     make([]int64, cfg.N),
@@ -188,6 +194,19 @@ func (e *engine) Crash(ctx sim.StepCtx) bool {
 	return true
 }
 
+// Abort implements sim.AbortPlanner: a waiter whose virtual clock has
+// passed its passage deadline backs out at its next instruction boundary.
+// The runner's own gating (waiting inside Recover/Enter of an abortable
+// lock, not in the CS, not exiting, not already backing out) handles the
+// rest; the back-out protocol's instructions are priced like any others.
+func (e *engine) Abort(ctx sim.StepCtx) bool {
+	if !ctx.IsOp {
+		return false
+	}
+	at := e.abortAt[ctx.PID]
+	return at != 0 && e.wake[ctx.PID] >= at
+}
+
 // Observe implements sim.FailurePlan: it folds every executed instruction
 // into the determinism trace hash and reconstructs the BA-Lock level the
 // passage is committed to, exactly as the native metrics recorder does
@@ -236,7 +255,11 @@ func (e *engine) onEvent(ev sim.Event, _ *memory.Arena) {
 		e.contenders++
 		e.level[pid] = 1
 		e.passStart[pid] = at
+		if e.cfg.Aborts.DeadlineNs > 0 {
+			e.abortAt[pid] = at + e.cfg.Aborts.DeadlineNs
+		}
 	case sim.EvCSEnter:
+		e.abortAt[pid] = 0
 		k := e.key(pid)
 		e.inCS[pid] = true
 		e.csKey[pid] = k
@@ -251,11 +274,18 @@ func (e *engine) onEvent(ev sim.Event, _ *memory.Arena) {
 	case sim.EvPassageEnd:
 		e.contenders--
 		e.inPassage[pid] = false
+		e.abortAt[pid] = 0
 		e.stats.passage(at-e.passStart[pid], e.level[pid], e.key(pid))
 	case sim.EvAborted:
+		// Back-out complete: the deadline fired, the waiter left its queue
+		// position crash-safely and returns to NCS. The retried request is
+		// a fresh arrival (no retryPending), modelling timeout + backoff.
 		e.contenders--
 		e.inPassage[pid] = false
+		e.abortAt[pid] = 0
+		e.stats.abortedPassages++
 	case sim.EvCrash:
+		e.abortAt[pid] = 0
 		if e.inPassage[pid] {
 			e.contenders--
 			e.inPassage[pid] = false

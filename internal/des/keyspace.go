@@ -85,6 +85,27 @@ func (ks *Keyspace) Enter(p memory.Port) {
 	ks.locks[k-1].Enter(p)
 }
 
+// Abortable reports whether the inner lock recipe supports the abort
+// protocol; Run refuses abort traffic over a keyspace that does not.
+func (ks *Keyspace) Abortable() bool {
+	_, ok := ks.locks[0].(sim.Aborter)
+	return ok
+}
+
+// Abort implements sim.Aborter: back out of the pinned key's lock, then
+// clear the pin so the retried request draws a fresh key. An abort
+// delivered before Recover persisted the pin finds no queue position to
+// abandon and clears nothing.
+func (ks *Keyspace) Abort(p memory.Port) {
+	pid := p.PID()
+	k := int(p.Read(ks.curKey[pid]))
+	if k == 0 {
+		return
+	}
+	ks.locks[k-1].(sim.Aborter).Abort(p)
+	p.Write(ks.curKey[pid], 0)
+}
+
 // Exit implements sim.Lock: it releases the key's lock and only then
 // clears the pin. A crash inside Exit leaves the pin set, and the next
 // passage's Recover re-enters the same lock — recoverable locks treat a

@@ -284,3 +284,21 @@ func (s Stragglers) schedule(q *eventQueue, n int) {
 		q.push(0, evSlowOn, n-1-i)
 	}
 }
+
+// Aborts gives every passage a deadline in virtual time — the TryLockFor
+// shape. A process still waiting DeadlineNs after its passage started
+// backs out at its next instruction boundary via the lock's abort
+// protocol and re-issues the request after a fresh think time (a client
+// timeout with backoff: the retried attempt is a new arrival, not an
+// immediate re-queue).
+type Aborts struct {
+	// DeadlineNs is the per-passage deadline (0 = aborts disabled).
+	DeadlineNs int64
+}
+
+func (a *Aborts) check() error {
+	if a.DeadlineNs < 0 {
+		return fmt.Errorf("des: abort deadline %dns, want ≥ 0", a.DeadlineNs)
+	}
+	return nil
+}

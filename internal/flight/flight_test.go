@@ -1,6 +1,8 @@
 package flight
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -196,6 +198,34 @@ func TestRecordingWriteReadFile(t *testing.T) {
 				t.Fatalf("p%d event %d: %+v != %+v", pid, i, got.Procs[pid][i], rec.Procs[pid][i])
 			}
 		}
+	}
+}
+
+func TestRecordingWriteToMatchesWriteFile(t *testing.T) {
+	r := NewRecorder(2, 32)
+	drive(r, 0)
+	rec := r.Snapshot()
+
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := rec.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) || !bytes.Equal(buf.Bytes(), onDisk) {
+		t.Fatalf("WriteTo wrote %d bytes that differ from WriteFile's %d", n, len(onDisk))
+	}
+	// WriteTo validates before emitting anything.
+	bad := &Recording{Schema: "bogus"}
+	if _, err := bad.WriteTo(&buf); err == nil {
+		t.Fatal("WriteTo accepted an invalid recording")
 	}
 }
 

@@ -3,6 +3,7 @@ package flight
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -140,16 +141,37 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// WriteFile writes the recording as indented JSON.
-func (rec *Recording) WriteFile(path string) error {
+// marshal validates and renders the recording as indented JSON with a
+// trailing newline — the exact bytes WriteFile and WriteTo emit.
+func (rec *Recording) marshal() ([]byte, error) {
 	if err := rec.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteTo streams the recording to w in the same validated JSON form as
+// WriteFile; HTTP handlers serve dumps through it without a temp file.
+func (rec *Recording) WriteTo(w io.Writer) (int64, error) {
+	data, err := rec.marshal()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteFile writes the recording as indented JSON.
+func (rec *Recording) WriteFile(path string) error {
+	data, err := rec.marshal()
+	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // ReadFile reads and validates a recording written by WriteFile.

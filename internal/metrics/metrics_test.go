@@ -253,7 +253,8 @@ func TestSnapshotMerge(t *testing.T) {
 	if !reflect.DeepEqual(m.LevelHist, []uint64{2, 1, 0, 1}) {
 		t.Fatalf("merged levels %v", m.LevelHist)
 	}
-	if !reflect.DeepEqual(m.RMRHist.Counts, []uint64{1, 1, 1, 0, 1}) {
+	// a's overflow bucket (samples ≥2) must stay overflow after growing.
+	if !reflect.DeepEqual(m.RMRHist.Counts, []uint64{1, 1, 0, 0, 2}) {
 		t.Fatalf("merged hist %v", m.RMRHist.Counts)
 	}
 	// a and b themselves are unchanged (Merge copies).

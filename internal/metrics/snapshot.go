@@ -117,15 +117,31 @@ func (h Hist) Mean() float64 {
 	return float64(sum) / float64(total)
 }
 
+// Sum returns the sum of all samples, counting overflow-bucket samples
+// at the bucket's lower bound (so it is a lower bound on the true sum).
+// Exporters use it for the Prometheus histogram _sum series.
+func (h Hist) Sum() uint64 {
+	var sum uint64
+	for i, c := range h.Counts {
+		sum += uint64(i) * c
+	}
+	return sum
+}
+
 // add merges o into h, growing h as needed; o's overflow bucket lands in
 // h's overflow bucket.
 func (h *Hist) add(o Hist) {
 	if len(o.Counts) == 0 {
 		return
 	}
-	if len(h.Counts) < len(o.Counts) {
+	if n := len(h.Counts); n < len(o.Counts) {
 		grown := make([]uint64, len(o.Counts))
 		copy(grown, h.Counts)
+		if n > 0 {
+			// h's old overflow bucket must stay overflow after growing.
+			grown[len(grown)-1] += grown[n-1]
+			grown[n-1] = 0
+		}
 		h.Counts = grown
 	}
 	last := len(h.Counts) - 1

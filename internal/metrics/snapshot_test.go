@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestSnapshotJSONFieldsPinned is the wire-format regression test: the
+// Snapshot JSON field names are consumed by cmd/rmeserver's /metrics.json
+// and /workloads payloads, the BENCH_*.json artifacts, and the CI jq
+// gates. Renaming a field (or changing omitempty behaviour for an
+// always-present field) must fail here, not silently in a dashboard.
+func TestSnapshotJSONFieldsPinned(t *testing.T) {
+	s := Snapshot{
+		Attempts:        10,
+		Passages:        7,
+		Crashes:         2,
+		CrashedAttempts: 2,
+		Aborted:         1,
+		Recoveries:      2,
+		FastPath:        6,
+		SlowPath:        1,
+		SplitterTries:   3,
+		FilterFAS:       4,
+		RMRs:            90,
+		Ops:             120,
+		LevelHist:       []uint64{6, 1},
+		RMRHist:         Hist{Counts: []uint64{0, 3, 4}},
+		AbandonedHist:   []uint64{1},
+		AbortRMRHist:    Hist{Counts: []uint64{0, 1}},
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	want := []string{
+		"abandoned_hist",
+		"abort_rmr_hist",
+		"aborted",
+		"attempts",
+		"crashed_attempts",
+		"crashes",
+		"fast_path",
+		"filter_fas",
+		"level_hist",
+		"ops",
+		"passages",
+		"recoveries",
+		"rmr_hist",
+		"rmrs",
+		"slow_path",
+		"splitter_tries",
+	}
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("Snapshot JSON fields drifted:\n got %v\nwant %v", keys, want)
+	}
+	// Hists marshal as {"counts":[...]}.
+	hist, ok := got["rmr_hist"].(map[string]any)
+	if !ok {
+		t.Fatalf("rmr_hist is %T, want object", got["rmr_hist"])
+	}
+	if _, ok := hist["counts"]; !ok {
+		t.Fatalf("rmr_hist missing pinned \"counts\" key: %v", hist)
+	}
+	// abandoned_hist is omitempty: absent when no aborts escalated.
+	raw, err = json.Marshal(Snapshot{})
+	if err != nil {
+		t.Fatalf("marshal zero: %v", err)
+	}
+	var zero map[string]any
+	if err := json.Unmarshal(raw, &zero); err != nil {
+		t.Fatalf("unmarshal zero: %v", err)
+	}
+	if _, present := zero["abandoned_hist"]; present {
+		t.Fatalf("abandoned_hist must be omitempty, got %v", zero)
+	}
+	// Round trip preserves every counter.
+	var back Snapshot
+	if err := json.Unmarshal(mustJSON(t, s), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return raw
+}
+
+// TestSnapshotMergeLabeledFailures exercises Merge over snapshots that
+// carry the full labeled-failure surface: crashes, crashed attempts,
+// aborts with abandoned-level and abort-RMR histograms, recoveries and
+// the label-derived counters (splitter tries, filter FAS).
+func TestSnapshotMergeLabeledFailures(t *testing.T) {
+	a := Snapshot{
+		Attempts:        12,
+		Passages:        8,
+		Crashes:         3,
+		CrashedAttempts: 3,
+		Aborted:         1,
+		Recoveries:      3,
+		FastPath:        7,
+		SlowPath:        1,
+		SplitterTries:   9,
+		FilterFAS:       5,
+		RMRs:            140,
+		Ops:             200,
+		LevelHist:       []uint64{7, 1},
+		RMRHist:         Hist{Counts: []uint64{0, 2, 6}},
+		AbandonedHist:   []uint64{1},
+		AbortRMRHist:    Hist{Counts: []uint64{0, 0, 1}},
+	}
+	b := Snapshot{
+		Attempts:        6,
+		Passages:        3,
+		Crashes:         1,
+		CrashedAttempts: 1,
+		Aborted:         2,
+		Recoveries:      1,
+		FastPath:        1,
+		SlowPath:        2,
+		SplitterTries:   4,
+		FilterFAS:       2,
+		RMRs:            80,
+		Ops:             110,
+		LevelHist:       []uint64{1, 1, 1},
+		RMRHist:         Hist{Counts: []uint64{0, 1, 1, 1}},
+		AbandonedHist:   []uint64{1, 1},
+		AbortRMRHist:    Hist{Counts: []uint64{0, 1, 1}},
+	}
+	m := a.Merge(b)
+
+	if m.Attempts != 18 || m.Passages != 11 || m.Crashes != 4 ||
+		m.CrashedAttempts != 4 || m.Aborted != 3 || m.Recoveries != 4 {
+		t.Fatalf("failure counters wrong: %+v", m)
+	}
+	if m.FastPath != 8 || m.SlowPath != 3 || m.SplitterTries != 13 || m.FilterFAS != 7 {
+		t.Fatalf("label counters wrong: %+v", m)
+	}
+	if m.RMRs != 220 || m.Ops != 310 {
+		t.Fatalf("traffic counters wrong: %+v", m)
+	}
+	if want := []uint64{8, 2, 1}; !reflect.DeepEqual(m.LevelHist, want) {
+		t.Fatalf("LevelHist = %v, want %v", m.LevelHist, want)
+	}
+	if want := []uint64{2, 1}; !reflect.DeepEqual(m.AbandonedHist, want) {
+		t.Fatalf("AbandonedHist = %v, want %v", m.AbandonedHist, want)
+	}
+	// a's 3-bucket overflow (6 samples ≥2) re-homes to the merged hist's
+	// overflow bucket rather than posing as exact value 2.
+	if want := []uint64{0, 3, 1, 7}; !reflect.DeepEqual(m.RMRHist.Counts, want) {
+		t.Fatalf("RMRHist = %v, want %v", m.RMRHist.Counts, want)
+	}
+	if want := []uint64{0, 1, 2}; !reflect.DeepEqual(m.AbortRMRHist.Counts, want) {
+		t.Fatalf("AbortRMRHist = %v, want %v", m.AbortRMRHist.Counts, want)
+	}
+	// The merged identity still holds at quiescence.
+	if m.Attempts != m.Passages+m.Aborted+m.CrashedAttempts {
+		t.Fatalf("identity broken after merge: %+v", m)
+	}
+	// Merge must not alias the operands' slices.
+	m.LevelHist[0]++
+	m.RMRHist.Counts[1]++
+	m.AbandonedHist[0]++
+	m.AbortRMRHist.Counts[1]++
+	if a.LevelHist[0] != 7 || a.RMRHist.Counts[1] != 2 ||
+		a.AbandonedHist[0] != 1 || a.AbortRMRHist.Counts[1] != 0 {
+		t.Fatalf("Merge aliased operand slices: %+v", a)
+	}
+}
+
+// TestSnapshotMergeCommutes: Merge over differing hist lengths is
+// symmetric, and overflow buckets stay overflow (a short hist's last
+// bucket lands in the longer hist's last bucket).
+func TestSnapshotMergeCommutes(t *testing.T) {
+	a := Snapshot{RMRHist: Hist{Counts: []uint64{1, 2, 5}}} // overflow=5 at index 2
+	b := Snapshot{RMRHist: Hist{Counts: []uint64{0, 0, 3, 0, 7}}}
+	ab := a.Merge(b).RMRHist
+	ba := b.Merge(a).RMRHist
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("Merge not commutative: %v vs %v", ab, ba)
+	}
+	// a's overflow bucket (5 samples at index 2) must land in the final
+	// bucket of the merged 5-bucket hist, not at index 2.
+	if want := []uint64{1, 2, 3, 0, 12}; !reflect.DeepEqual(ab.Counts, want) {
+		t.Fatalf("overflow merge = %v, want %v", ab.Counts, want)
+	}
+}
+
+// TestHistPercentiles pins the percentile helper the exporter reuses on
+// a full-size 257-bucket histogram (RMRBuckets): p50/p99 by cumulative
+// rank, overflow-bucket clamping, and the Sum/Mean lower bounds.
+func TestHistPercentiles(t *testing.T) {
+	h := Hist{Counts: make([]uint64, RMRBuckets)}
+	// 100 samples at value 7, 80 at 9, 19 at 40, 1 in overflow.
+	h.Counts[7] = 100
+	h.Counts[9] = 80
+	h.Counts[40] = 19
+	h.Counts[RMRBuckets-1] = 1
+	if got := h.Total(); got != 200 {
+		t.Fatalf("Total = %d, want 200", got)
+	}
+	if got := h.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 = %d, want 7", got)
+	}
+	if got := h.Quantile(0.9); got != 9 {
+		t.Fatalf("p90 = %d, want 9", got)
+	}
+	if got := h.Quantile(0.99); got != 40 {
+		t.Fatalf("p99 = %d, want 40", got)
+	}
+	// The very top of the distribution lands in the overflow bucket,
+	// whose value is a lower bound.
+	if got := h.Quantile(1.0); got != RMRBuckets-1 {
+		t.Fatalf("p100 = %d, want %d", got, RMRBuckets-1)
+	}
+	wantSum := uint64(7*100 + 9*80 + 40*19 + (RMRBuckets - 1))
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+	if got := h.Mean(); got != float64(wantSum)/200 {
+		t.Fatalf("Mean = %v, want %v", got, float64(wantSum)/200)
+	}
+
+	// Degenerate cases: empty hist and q outside the sample range.
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Sum() != 0 || empty.Mean() != 0 || empty.Total() != 0 {
+		t.Fatalf("empty hist helpers must all return 0")
+	}
+	one := Hist{Counts: []uint64{0, 0, 1}}
+	if got := one.Quantile(0); got != 2 {
+		t.Fatalf("q=0 with one sample = %d, want 2 (need clamps to 1)", got)
+	}
+	if got := one.Quantile(1); got != 2 {
+		t.Fatalf("q=1 with one sample = %d, want 2", got)
+	}
+}

@@ -1,0 +1,328 @@
+package promexp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a text exposition payload against the subset of the
+// Prometheus 0.0.4 format this package emits, plus the repo's own
+// conventions. It is the gate behind `rmeserver -checkformat` and the CI
+// server-smoke job. Checked:
+//
+//   - every line is a HELP/TYPE comment or a well-formed sample
+//   - metric and label names are legal, label values parse (escapes)
+//   - each family has exactly one TYPE (a known type) before its first
+//     sample, and at most one HELP
+//   - counter family names end in _total
+//   - no duplicate (name, labels) sample
+//   - histograms: per label set, le buckets are cumulative, end in
+//     +Inf, and _count equals the +Inf bucket
+func Lint(data []byte) error {
+	l := &linter{
+		types:  map[string]string{},
+		helped: map[string]bool{},
+		seen:   map[string]bool{},
+		hists:  map[string]*histCheck{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if err := l.line(line); err != nil {
+			return fmt.Errorf("line %d: %w (%q)", n, err, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return l.finish()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+type histCheck struct {
+	// per base-label-set state, keyed by the canonical label string
+	// without le.
+	buckets map[string][]bucket
+	counts  map[string]float64
+	hasCnt  map[string]bool
+}
+
+type bucket struct {
+	le  float64
+	val float64
+}
+
+type linter struct {
+	types  map[string]string // family -> type
+	helped map[string]bool
+	seen   map[string]bool // exact sample dedup
+	hists  map[string]*histCheck
+}
+
+func (l *linter) line(line string) error {
+	if line == "" {
+		return fmt.Errorf("blank line")
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.comment(line)
+	}
+	return l.sample(line)
+}
+
+func (l *linter) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment")
+	}
+	name := fields[2]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	switch fields[1] {
+	case "HELP":
+		if l.helped[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		l.helped[name] = true
+		if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+			return fmt.Errorf("empty HELP for %s", name)
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE")
+		}
+		typ := fields[3]
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown type %q", typ)
+		}
+		if _, dup := l.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %s does not end in _total", name)
+		}
+		l.types[name] = typ
+		if typ == "histogram" {
+			l.hists[name] = &histCheck{
+				buckets: map[string][]bucket{},
+				counts:  map[string]float64{},
+				hasCnt:  map[string]bool{},
+			}
+		}
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+	return nil
+}
+
+// family resolves a sample name to its TYPE family, stripping histogram
+// and summary suffixes when the base family is declared with that type.
+func (l *linter) family(name string) (string, string, error) {
+	if typ, ok := l.types[name]; ok {
+		return name, typ, nil
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		typ, ok := l.types[base]
+		if !ok {
+			continue
+		}
+		if typ == "histogram" || (typ == "summary" && suf != "_bucket") {
+			return base, typ, nil
+		}
+	}
+	return "", "", fmt.Errorf("sample %s has no TYPE", name)
+}
+
+func (l *linter) sample(line string) error {
+	name, labels, valueStr, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	value, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", valueStr)
+	}
+	base, typ, err := l.family(name)
+	if err != nil {
+		return err
+	}
+	var le string
+	var rest []string
+	for _, kv := range labels {
+		k := kv[0]
+		if !labelNameRe.MatchString(k) {
+			return fmt.Errorf("bad label name %q", k)
+		}
+		if k == "le" && typ == "histogram" {
+			le = kv[1]
+			continue
+		}
+		rest = append(rest, k+"="+kv[1])
+	}
+	sort.Strings(rest)
+	key := name + "{" + strings.Join(rest, ",") + ",le=" + le + "}"
+	if l.seen[key] {
+		return fmt.Errorf("duplicate sample %s", key)
+	}
+	l.seen[key] = true
+
+	if typ == "counter" && value < 0 {
+		return fmt.Errorf("negative counter %s", name)
+	}
+	if typ == "histogram" {
+		hc := l.hists[base]
+		bkey := strings.Join(rest, ",")
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				return fmt.Errorf("histogram bucket without le")
+			}
+			bound, perr := parseLE(le)
+			if perr != nil {
+				return perr
+			}
+			hc.buckets[bkey] = append(hc.buckets[bkey], bucket{bound, value})
+		case strings.HasSuffix(name, "_count"):
+			hc.counts[bkey] = value
+			hc.hasCnt[bkey] = true
+		}
+	}
+	return nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return inf, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+var inf = func() float64 {
+	v, _ := strconv.ParseFloat("+Inf", 64)
+	return v
+}()
+
+func (l *linter) finish() error {
+	for fam, hc := range l.hists {
+		for bkey, bks := range hc.buckets {
+			for i := 1; i < len(bks); i++ {
+				if bks[i].le <= bks[i-1].le {
+					return fmt.Errorf("%s{%s}: le bounds not increasing", fam, bkey)
+				}
+				if bks[i].val < bks[i-1].val {
+					return fmt.Errorf("%s{%s}: buckets not cumulative (le=%v: %v after %v)",
+						fam, bkey, bks[i].le, bks[i].val, bks[i-1].val)
+				}
+			}
+			last := bks[len(bks)-1]
+			if last.le != inf {
+				return fmt.Errorf("%s{%s}: missing +Inf bucket", fam, bkey)
+			}
+			if !hc.hasCnt[bkey] {
+				return fmt.Errorf("%s{%s}: missing _count", fam, bkey)
+			}
+			if hc.counts[bkey] != last.val {
+				return fmt.Errorf("%s{%s}: _count %v != +Inf bucket %v",
+					fam, bkey, hc.counts[bkey], last.val)
+			}
+		}
+	}
+	return nil
+}
+
+// splitSample parses `name{k="v",...} value` (labels optional) into its
+// parts, decoding label-value escapes.
+func splitSample(line string) (name string, labels [][2]string, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("no value")
+		}
+		return rest[:sp], nil, strings.TrimSpace(rest[sp+1:]), nil
+	}
+	name = rest[:brace]
+	rest = rest[brace+1:]
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if strings.HasPrefix(rest, "}") {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, "", fmt.Errorf("malformed labels")
+		}
+		k := rest[:eq]
+		rest = rest[eq+2:]
+		var v strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return "", nil, "", fmt.Errorf("unterminated label value")
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return "", nil, "", fmt.Errorf("dangling escape")
+				}
+				switch rest[i+1] {
+				case '\\':
+					v.WriteByte('\\')
+				case '"':
+					v.WriteByte('"')
+				case 'n':
+					v.WriteByte('\n')
+				default:
+					return "", nil, "", fmt.Errorf("unknown escape \\%c", rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			v.WriteByte(c)
+			i++
+		}
+		labels = append(labels, [2]string{k, v.String()})
+		rest = rest[i:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", nil, "", fmt.Errorf("no value")
+	}
+	return name, labels, strings.TrimSpace(rest), nil
+}

@@ -1,0 +1,296 @@
+package promexp
+
+import (
+	"bytes"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"rme"
+	"rme/internal/flight"
+	"rme/internal/metrics"
+)
+
+func sampleSnapshot() metrics.Snapshot {
+	rmr := make([]uint64, metrics.RMRBuckets)
+	rmr[0] = 2   // two passages at 0 RMRs
+	rmr[1] = 5   // five at 1
+	rmr[3] = 2   // two at 3
+	rmr[256] = 1 // one in overflow (≥ 256)
+	return metrics.Snapshot{
+		Attempts: 12, Passages: 10, Crashes: 1, CrashedAttempts: 1,
+		Aborted: 1, Recoveries: 1, FastPath: 7, SlowPath: 3,
+		SplitterTries: 20, FilterFAS: 4, RMRs: 40, Ops: 200,
+		LevelHist:     []uint64{7, 3},
+		RMRHist:       metrics.Hist{Counts: rmr},
+		AbandonedHist: []uint64{1},
+		AbortRMRHist:  metrics.Hist{Counts: []uint64{0, 1}},
+	}
+}
+
+func render(t *testing.T, srcs []Source) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, "rmeserver", srcs); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.String()
+}
+
+func fullSources() []Source {
+	return []Source{
+		{Workload: "hot", Running: true, Workers: 4, Snapshot: sampleSnapshot()},
+		{Workload: "churn", Workers: 2, Snapshot: metrics.Snapshot{},
+			Map: &rme.MapStats{Keys: 3, Segments: 1, FootprintWords: 640, SlotWords: 64,
+				Instantiated: 30, Recycled: 20, Evictions: 27,
+				Shards: []rme.MapShardStats{{Keys: 3, Free: 2, Instantiated: 30, Evictions: 27}}}},
+		{Workload: "soak", Workers: 5, Snapshot: metrics.Snapshot{},
+			Soak: &SoakStats{Runs: 8, Violations: 0}},
+		{Workload: "zipf", Running: true, Workers: 2, Snapshot: metrics.Snapshot{},
+			Profile: &flight.Profile{Phases: []flight.PhaseStats{
+				{Phase: "cs", Level: 1, Count: 10, P50NS: 64, P99NS: 1024, MeanNS: 120.5},
+			}}},
+	}
+}
+
+// TestFamilyNamesPinned is the rename tripwire: the exact set of metric
+// families is the ops plane's external interface.
+func TestFamilyNamesPinned(t *testing.T) {
+	out := render(t, fullSources())
+	re := regexp.MustCompile(`(?m)^# TYPE (\S+) (\S+)$`)
+	got := map[string]string{}
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		got[m[1]] = m[2]
+	}
+	want := map[string]string{
+		"rme_build_info":                   "gauge",
+		"rme_workload_running":             "gauge",
+		"rme_workload_workers":             "gauge",
+		"rme_attempts_total":               "counter",
+		"rme_passages_total":               "counter",
+		"rme_crashes_total":                "counter",
+		"rme_crashed_attempts_total":       "counter",
+		"rme_aborted_total":                "counter",
+		"rme_recoveries_total":             "counter",
+		"rme_fast_path_total":              "counter",
+		"rme_slow_path_total":              "counter",
+		"rme_splitter_tries_total":         "counter",
+		"rme_filter_fas_total":             "counter",
+		"rme_rmrs_total":                   "counter",
+		"rme_ops_total":                    "counter",
+		"rme_level_passages_total":         "counter",
+		"rme_abandoned_attempts_total":     "counter",
+		"rme_passage_rmrs":                 "histogram",
+		"rme_abort_rmrs":                   "histogram",
+		"rme_rmr_median":                   "gauge",
+		"rme_rmr_p99":                      "gauge",
+		"rme_map_keys":                     "gauge",
+		"rme_map_segments":                 "gauge",
+		"rme_map_footprint_words":          "gauge",
+		"rme_map_slot_words":               "gauge",
+		"rme_map_instantiated_total":       "counter",
+		"rme_map_recycled_total":           "counter",
+		"rme_map_evictions_total":          "counter",
+		"rme_map_shard_keys":               "gauge",
+		"rme_map_shard_free":               "gauge",
+		"rme_map_shard_instantiated_total": "counter",
+		"rme_map_shard_evictions_total":    "counter",
+		"rme_phase_latency_ns":             "summary",
+		"rme_soak_runs_total":              "counter",
+		"rme_soak_violations_total":        "counter",
+	}
+	var missing, extra []string
+	for k := range want {
+		if got[k] != want[k] {
+			missing = append(missing, k+" (want "+want[k]+", got "+got[k]+")")
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 || len(extra) > 0 {
+		t.Fatalf("family drift:\nmissing/mistyped: %v\nunexpected: %v", missing, extra)
+	}
+}
+
+func TestWriteLintsClean(t *testing.T) {
+	out := render(t, fullSources())
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("own output fails lint: %v\n%s", err, out)
+	}
+}
+
+func TestCounterValues(t *testing.T) {
+	out := render(t, fullSources())
+	for _, line := range []string{
+		`rme_attempts_total{workload="hot"} 12`,
+		`rme_passages_total{workload="hot"} 10`,
+		`rme_aborted_total{workload="hot"} 1`,
+		`rme_ops_total{workload="hot"} 200`,
+		`rme_level_passages_total{workload="hot",level="1"} 7`,
+		`rme_level_passages_total{workload="hot",level="2"} 3`,
+		`rme_abandoned_attempts_total{workload="hot",level="1"} 1`,
+		`rme_workload_running{workload="hot"} 1`,
+		`rme_workload_running{workload="churn"} 0`,
+		`rme_workload_workers{workload="soak"} 5`,
+		`rme_soak_runs_total{workload="soak"} 8`,
+		`rme_soak_violations_total{workload="soak"} 0`,
+		`rme_map_keys{workload="churn"} 3`,
+		`rme_map_evictions_total{workload="churn"} 27`,
+		`rme_map_shard_free{workload="churn",shard="0"} 2`,
+		`rme_rmr_median{workload="hot"} 1`,
+		`rme_rmr_p99{workload="hot"} 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing sample %q", line)
+		}
+	}
+}
+
+// TestHistogramExposition pins the cumulative-bucket semantics: exact
+// small-value buckets, overflow samples only in +Inf, _sum a lower bound.
+func TestHistogramExposition(t *testing.T) {
+	out := render(t, fullSources())
+	for _, line := range []string{
+		`rme_passage_rmrs_bucket{workload="hot",le="0"} 2`,
+		`rme_passage_rmrs_bucket{workload="hot",le="1"} 7`,
+		`rme_passage_rmrs_bucket{workload="hot",le="2"} 7`,
+		`rme_passage_rmrs_bucket{workload="hot",le="4"} 9`,
+		`rme_passage_rmrs_bucket{workload="hot",le="256"} 9`, // overflow not included
+		`rme_passage_rmrs_bucket{workload="hot",le="+Inf"} 10`,
+		`rme_passage_rmrs_sum{workload="hot"} 267`, // 5*1 + 2*3 + 1*256
+		`rme_passage_rmrs_count{workload="hot"} 10`,
+		`rme_abort_rmrs_bucket{workload="hot",le="+Inf"} 1`,
+		`rme_abort_rmrs_count{workload="hot"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing sample %q", line)
+		}
+	}
+}
+
+func TestSummaryExposition(t *testing.T) {
+	out := render(t, fullSources())
+	for _, line := range []string{
+		`rme_phase_latency_ns{workload="zipf",phase="cs",level="1",quantile="0.5"} 64`,
+		`rme_phase_latency_ns{workload="zipf",phase="cs",level="1",quantile="0.99"} 1024`,
+		`rme_phase_latency_ns_sum{workload="zipf",phase="cs",level="1"} 1205`,
+		`rme_phase_latency_ns_count{workload="zipf",phase="cs",level="1"} 10`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing sample %q", line)
+		}
+	}
+}
+
+func TestBuildInfoAndSourceOrder(t *testing.T) {
+	out := render(t, fullSources())
+	if !regexp.MustCompile(`(?m)^rme_build_info\{binary="rmeserver",revision="[^"]+",goversion="[^"]+"\} 1$`).
+		MatchString(out) {
+		t.Fatalf("no build info line in:\n%s", out[:200])
+	}
+	// Sources are sorted by workload name within every family.
+	re := regexp.MustCompile(`(?m)^rme_attempts_total\{workload="([^"]+)"\}`)
+	var order []string
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		order = append(order, m[1])
+	}
+	if want := []string{"churn", "hot", "soak", "zipf"}; strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("workload order %v, want %v", order, want)
+	}
+	// Deterministic: two renders are byte-identical.
+	if out != render(t, fullSources()) {
+		t.Fatal("render is not deterministic")
+	}
+}
+
+func TestOptionalFamiliesOmitted(t *testing.T) {
+	out := render(t, []Source{{Workload: "hot", Snapshot: sampleSnapshot()}})
+	for _, absent := range []string{"rme_map_", "rme_phase_latency_ns", "rme_soak_"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("bare-mutex scrape contains %q family", absent)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	out := render(t, []Source{{Workload: "we\"ird\\x\n", Snapshot: metrics.Snapshot{}}})
+	if !strings.Contains(out, `rme_attempts_total{workload="we\"ird\\x\n"} 0`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("escaped output fails lint: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	good := render(t, fullSources())
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty", "", "empty exposition"},
+		{"blank line", good + "\n", "blank line"},
+		{"no type", "rme_x_total 1\n", "no TYPE"},
+		{"bad type", "# HELP x h\n# TYPE x widget\n", "unknown type"},
+		{"duplicate type", "# TYPE x gauge\n# TYPE x gauge\n", "duplicate TYPE"},
+		{"duplicate help", "# HELP x h\n# HELP x h\n", "duplicate HELP"},
+		{"empty help", "# HELP x \n", "empty HELP"},
+		{"counter suffix", "# TYPE rme_x counter\n", "does not end in _total"},
+		{"bad value", "# TYPE x gauge\nx nope\n", "bad value"},
+		{"negative counter", "# TYPE x_total counter\nx_total -1\n", "negative counter"},
+		{"duplicate sample", "# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n", "duplicate sample"},
+		{"bad label name", "# TYPE x gauge\nx{0a=\"1\"} 1\n", "bad label name"},
+		{"bad metric name", "# TYPE x gauge\n0x 1\n", "bad metric name"},
+		{"unterminated label", "# TYPE x gauge\nx{a=\"1 1\n", "unterminated label value"},
+		{"unknown escape", "# TYPE x gauge\nx{a=\"\\q\"} 1\n", "unknown escape"},
+		{"missing value", "# TYPE x gauge\nx\n", "no value"},
+		{"malformed labels", "# TYPE x gauge\nx{a} 1\n", "malformed labels"},
+		{"unknown keyword", "# NOTE x h\n", "unknown comment keyword"},
+		{"malformed comment", "# HELP\n", "malformed comment"},
+		{"bucket no le", "# TYPE h histogram\nh_bucket 1\n", "without le"},
+		{"bad le", "# TYPE h histogram\nh_bucket{le=\"x\"} 1\n", "bad le bound"},
+		{"non-cumulative", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n", "not cumulative"},
+		{"no inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n", "missing +Inf"},
+		{"no count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\n", "missing _count"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 1\n", "!= +Inf bucket"},
+		{"le not increasing", "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"not increasing"},
+	}
+	for _, tc := range cases {
+		err := Lint([]byte(tc.data))
+		if err == nil {
+			t.Errorf("%s: lint accepted bad input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Lint([]byte(good)); err != nil {
+		t.Fatalf("good payload rejected: %v", err)
+	}
+}
+
+// TestEmptyHistogramStillWellFormed: a freshly booted workload has no
+// samples yet but its histogram series must already exist and lint.
+func TestEmptyHistogramStillWellFormed(t *testing.T) {
+	out := render(t, []Source{{Workload: "idle", Snapshot: metrics.Snapshot{}}})
+	if !strings.Contains(out, `rme_passage_rmrs_bucket{workload="idle",le="+Inf"} 0`+"\n") {
+		t.Fatalf("empty histogram malformed:\n%s", out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}

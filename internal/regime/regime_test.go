@@ -1,0 +1,147 @@
+package regime
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// runBriefly starts the regime, lets it generate traffic until the
+// predicate holds (or a deadline expires), and stops it.
+func runBriefly(t *testing.T, r *Runner, ok func() bool) {
+	t.Helper()
+	r.Start()
+	defer r.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !ok() {
+		t.Fatalf("regime %s produced no qualifying traffic in time: %+v", r.Name(), r.Snapshot())
+	}
+}
+
+func TestHotRegimeDrivesPassages(t *testing.T) {
+	r, err := New("hot", 2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBriefly(t, r, func() bool { return r.Snapshot().Passages >= 10 })
+	s := r.Snapshot()
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken at quiescence: %+v", s)
+	}
+	if s.RMRHist.Total() == 0 {
+		t.Fatalf("no RMR samples: %+v", s)
+	}
+	// The flight recorder is live.
+	if rec, ok := r.FlightRecording(); !ok || rec == nil || len(rec.Procs) == 0 {
+		t.Fatal("hot regime has no flight recording")
+	}
+	if _, ok := r.FlightProfile(); !ok {
+		t.Fatal("hot regime has no flight profile")
+	}
+	// Stop drains: the snapshot is stable afterwards.
+	a := r.Snapshot()
+	time.Sleep(20 * time.Millisecond)
+	if b := r.Snapshot(); a.Passages != b.Passages || a.Attempts != b.Attempts {
+		t.Fatalf("drained regime still moving: %+v vs %+v", a, b)
+	}
+	// Restart works.
+	before := r.Snapshot().Passages
+	runBriefly(t, r, func() bool { return r.Snapshot().Passages > before })
+}
+
+func TestAbortRegimeAborts(t *testing.T) {
+	// 4 workers on one lock with a 100µs deadline: contended waits abort.
+	r, err := New("abort", 4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBriefly(t, r, func() bool {
+		s := r.Snapshot()
+		return s.Passages > 0 && s.Aborted > 0
+	})
+	s := r.Snapshot()
+	if s.Attempts != s.Passages+s.Aborted+s.CrashedAttempts {
+		t.Fatalf("identity broken: %+v", s)
+	}
+}
+
+func TestCrashRegimeRecovers(t *testing.T) {
+	r, err := New("crash", 3, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBriefly(t, r, func() bool {
+		s := r.Snapshot()
+		return s.Crashes > 0 && s.Recoveries > 0 && s.Passages > 0
+	})
+}
+
+func TestMapRegimes(t *testing.T) {
+	for _, name := range []string{"zipf", "churn"} {
+		r, err := New(name, 2, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBriefly(t, r, func() bool { return r.Snapshot().Passages >= 5 })
+		st, ok := r.MapStats()
+		if !ok || st.Instantiated == 0 {
+			t.Fatalf("%s: no map lifecycle stats: %+v ok=%v", name, st, ok)
+		}
+		if name == "churn" {
+			// 1 shard × 8 slots with unique keys: reclamation must engage.
+			if st.Keys > 8 {
+				t.Fatalf("churn map holds %d keys over its 8 slots", st.Keys)
+			}
+		}
+	}
+}
+
+func TestSoakRegimeAggregates(t *testing.T) {
+	r, err := New("soak", 4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBriefly(t, r, func() bool {
+		st := r.Status()
+		return st.SoakRuns > 0 && st.Metrics.Passages > 0
+	})
+	st := r.Status()
+	if st.SoakViolations != 0 {
+		t.Fatalf("correct locks produced %d violations", st.SoakViolations)
+	}
+	if _, ok := r.FlightRecording(); ok {
+		t.Fatal("soak regime should not expose a native flight recording")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := New("nope", 2, t.TempDir()); err == nil {
+		t.Fatal("unknown regime accepted")
+	}
+	if _, err := New("hot", 0, t.TempDir()); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestStatusJSONShape(t *testing.T) {
+	r, err := New("hot", 1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(r.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"name", "running", "workers", "metrics"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("Status JSON missing %q: %s", k, blob)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package regime
 
 import (
 	"bytes"
@@ -33,15 +33,15 @@ func (l *brokenLock) Exit(p memory.Port)    { p.Read(l.w) }
 func TestCampaignWritesShrunkReplayableRepro(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	c := &campaign{
-		seeds: 2, n: 4, requests: 2, outDir: dir, stdout: &out,
-		specs: []workload.Spec{{
+	c := &Campaign{
+		Seeds: 2, N: 4, Requests: 2, OutDir: dir, Stdout: &out,
+		Specs: []workload.Spec{{
 			Name:     "fixture-broken",
 			Strength: workload.Strong,
 			New:      newBroken,
 		}},
 	}
-	runs, violations := c.run()
+	runs, violations := c.Run()
 	if runs != 4 { // 2 seeds × 2 models
 		t.Fatalf("%d runs, want 4", runs)
 	}
@@ -80,7 +80,7 @@ func TestCampaignWritesShrunkReplayableRepro(t *testing.T) {
 	}
 
 	// Every violation also dumps a post-mortem flight recording: a valid
-	// rme-flight/v1 file whose streams are bounded by flightTail.
+	// rme-flight/v1 file whose streams are bounded by FlightTail.
 	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
 	if err != nil {
 		t.Fatal(err)
@@ -97,8 +97,8 @@ func TestCampaignWritesShrunkReplayableRepro(t *testing.T) {
 			t.Fatalf("%s lost provenance: source=%s note=%q", path, rec.Source, rec.Note)
 		}
 		for pid, events := range rec.Procs {
-			if len(events) > flightTail {
-				t.Fatalf("%s p%d has %d events, tail bound is %d", path, pid, len(events), flightTail)
+			if len(events) > FlightTail {
+				t.Fatalf("%s p%d has %d events, tail bound is %d", path, pid, len(events), FlightTail)
 			}
 		}
 	}
@@ -116,9 +116,9 @@ func TestCampaignCleanOnCorrectLocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	c := &campaign{seeds: 3, n: 3, requests: 2, outDir: dir,
-		specs: []workload.Spec{spec}, stdout: &out}
-	runs, violations := c.run()
+	c := &Campaign{Seeds: 3, N: 3, Requests: 2, OutDir: dir,
+		Specs: []workload.Spec{spec}, Stdout: &out}
+	runs, violations := c.Run()
 	if runs != 6 || violations != 0 {
 		t.Fatalf("runs=%d violations=%d; output:\n%s", runs, violations, out.String())
 	}
@@ -134,31 +134,31 @@ func TestCampaignCleanOnCorrectLocks(t *testing.T) {
 // TestWatchdogPostMortem feeds the watchdog a shadowed run's event stream
 // (the OnEvent path the campaign wires up under -timeout) and checks the
 // post-mortem: a valid rme-flight/v1 file naming the interrupted run, with
-// streams bounded by flightTail.
+// streams bounded by FlightTail.
 func TestWatchdogPostMortem(t *testing.T) {
 	dir := t.TempDir()
-	w := &watchdog{}
-	w.begin("fixture-stuck", memory.CC, 7, 2)
+	w := &Watchdog{}
+	w.Begin("fixture-stuck", memory.CC, 7, 2)
 
 	// Simulate a run that emits far more lifecycle events than the tail
 	// bound; the ring must stay bounded and keep the most recent window.
 	seq := int64(0)
-	for i := 0; i < flightTail*8; i++ {
+	for i := 0; i < FlightTail*8; i++ {
 		for pid := 0; pid < 2; pid++ {
-			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvPassageStart}, nil)
+			w.Observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvPassageStart}, nil)
 			seq++
-			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvOp}, nil) // must be ignored
+			w.Observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvOp}, nil) // must be ignored
 			seq++
-			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvCSEnter}, nil)
+			w.Observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvCSEnter}, nil)
 			seq++
-			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvCSExit}, nil)
+			w.Observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvCSExit}, nil)
 			seq++
-			w.observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvPassageEnd}, nil)
+			w.Observe(sim.Event{Seq: seq, PID: pid, Kind: sim.EvPassageEnd}, nil)
 			seq++
 		}
 	}
 
-	path, desc, err := w.postMortem(dir)
+	path, desc, err := w.PostMortem(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,13 +179,13 @@ func TestWatchdogPostMortem(t *testing.T) {
 		if len(events) == 0 {
 			t.Fatalf("p%d has no events", pid)
 		}
-		if len(events) > flightTail {
-			t.Fatalf("p%d has %d events, tail bound is %d", pid, len(events), flightTail)
+		if len(events) > FlightTail {
+			t.Fatalf("p%d has %d events, tail bound is %d", pid, len(events), FlightTail)
 		}
 	}
 
 	// begin() for the next run resets the tail.
-	w.begin("next", memory.DSM, 8, 2)
+	w.Begin("next", memory.DSM, 8, 2)
 	w.mu.Lock()
 	if len(w.tail) != 0 {
 		t.Fatalf("begin did not reset the tail (%d events)", len(w.tail))
